@@ -1,0 +1,88 @@
+// Command overlap demonstrates REAL communication/computation overlap — no
+// cost model — on the goroutine runtime: it sweeps the injected per-hop
+// network latency and reports measured wall-clock times for PCG (3 blocking
+// allreduces per iteration), GROPPCG and PIPECG (hidden reductions) and
+// PIPE-PsCG (one hidden reduction per s iterations). As the latency grows,
+// the pipelined methods' advantage appears in actual elapsed time, because
+// the reduction trees run on background goroutines while the solver
+// computes — the paper's core mechanism, physically reproduced in miniature.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overlap: ")
+	var (
+		n       = flag.Int("n", 24, "grid dimension (7-pt Poisson)")
+		ranks   = flag.Int("ranks", 4, "goroutine ranks")
+		methods = flag.String("methods", "pcg,groppcg,pipecg,pipe-pscg", "methods")
+		reps    = flag.Int("reps", 3, "repetitions per cell (min is reported)")
+	)
+	flag.Parse()
+
+	pr := bench.Poisson7(*n)
+	pt := partition.RowBlockByNNZ(pr.A, *ranks)
+	bs := comm.Scatter(pt, pr.B)
+	factory := func(a *sparse.CSR, lo, hi int) engine.Preconditioner {
+		return precond.NewJacobi(a, lo, hi)
+	}
+
+	latencies := []time.Duration{0, 50 * time.Microsecond, 200 * time.Microsecond, 800 * time.Microsecond}
+	methodList := bench.ParseList(*methods)
+
+	fmt.Printf("real wall-clock solves, %s, %d ranks (times in ms; min of %d reps)\n",
+		pr.Name, *ranks, *reps)
+	fmt.Printf("%-12s", "hop latency")
+	for _, meth := range methodList {
+		fmt.Printf(" %12s", meth)
+	}
+	fmt.Println()
+
+	iters := map[string]int{}
+	for _, hop := range latencies {
+		fmt.Printf("%-12s", hop)
+		for _, meth := range methodList {
+			solve, err := bench.Solver(meth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best := time.Duration(0)
+			for rep := 0; rep < *reps; rep++ {
+				f := comm.NewFabric(*ranks, hop)
+				engines := comm.NewEngines(f, pr.A, pt, factory)
+				start := time.Now()
+				comm.Run(engines, func(r int, e *comm.Engine) {
+					opt := bench.DefaultOptions(pr)
+					res, err := solve(e, bs[r], opt)
+					if err != nil {
+						log.Fatalf("%s rank %d: %v", meth, r, err)
+					}
+					if r == 0 {
+						iters[meth] = res.Iterations
+					}
+				})
+				if el := time.Since(start); best == 0 || el < best {
+					best = el
+				}
+			}
+			fmt.Printf(" %12.1f", float64(best.Microseconds())/1000)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\niterations:", iters)
+	fmt.Println("with rising latency, blocking PCG degrades fastest; the pipelined")
+	fmt.Println("methods keep computing while their reduction trees are in flight.")
+}

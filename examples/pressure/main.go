@@ -1,0 +1,77 @@
+// Pressure: an OpenFOAM-motif pressure Poisson solve (the paper's §VI-E
+// points out OpenFOAM solves these at rtol 1e-2) on a heterogeneous 2D
+// conductance field, run SPMD on the goroutine runtime with real
+// non-blocking allreduces — the Hybrid-pipelined method finishing at a
+// tighter tolerance than the s-step recurrences alone support.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/krylov"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func main() {
+	const ranks = 4
+
+	// A heterogeneous conductance grid (ecology2-like, reduced scale).
+	m := synth.Ecology2(16) // ≈62×62
+	a := m.A
+	b := grid.OnesRHS(a)
+	fmt.Printf("pressure Poisson: %s stand-in, N=%d nnz=%d, %d SPMD ranks\n",
+		m.Name, a.Rows, a.NNZ(), ranks)
+
+	pt := partition.RowBlockByNNZ(a, ranks)
+	fabric := comm.NewFabric(ranks, 50*time.Microsecond) // injected hop latency
+	engines := comm.NewEngines(fabric, a, pt,
+		func(a *sparse.CSR, lo, hi int) engine.Preconditioner {
+			return precond.NewJacobi(a, lo, hi)
+		})
+	bs := comm.Scatter(pt, b)
+
+	opt := krylov.Defaults()
+	opt.RelTol = 1e-2 // the OpenFOAM default the paper cites
+
+	results := make([]*krylov.Result, ranks)
+	start := time.Now()
+	comm.Run(engines, func(r int, e *comm.Engine) {
+		res, err := krylov.Hybrid(e, bs[r], opt)
+		if err != nil {
+			log.Fatalf("rank %d: %v", r, err)
+		}
+		results[r] = res
+	})
+	elapsed := time.Since(start)
+
+	res := results[0]
+	fmt.Printf("%s: converged=%v in %d iterations, relres=%.3e\n",
+		res.Method, res.Converged, res.Iterations, res.RelRes)
+	fmt.Printf("wall time %v with real overlapped allreduces (rank-0 counters: %s)\n",
+		elapsed.Round(time.Millisecond), engines[0].Counters())
+
+	// Reassemble the global pressure field and report its range.
+	xs := make([][]float64, ranks)
+	for r := range xs {
+		xs[r] = results[r].X
+	}
+	x := comm.Gather(pt, xs)
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Printf("pressure field range: [%.4f, %.4f]\n", lo, hi)
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInts parses a comma-separated integer list ("1,10,40,120").
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad integer %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: empty integer list %q", s)
+	}
+	return out, nil
+}
+
+// ParseList splits a comma-separated string list.
+func ParseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ProblemByName builds a named workload. n is the grid dimension for the
+// Poisson problems; scale the reduction factor for the SuiteSparse
+// stand-ins (1 = full paper size).
+func ProblemByName(name string, n, scale int) (Problem, error) {
+	switch name {
+	case "poisson125":
+		return Poisson125(n), nil
+	case "poisson7":
+		return Poisson7(n), nil
+	case "ecology2":
+		return Ecology2(scale), nil
+	case "thermal2":
+		return Thermal2(scale), nil
+	case "serena":
+		return Serena(scale), nil
+	}
+	return Problem{}, fmt.Errorf("bench: unknown problem %q (want poisson125, poisson7, ecology2, thermal2, serena)", name)
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 1, 10,120 ")
+	if err != nil || len(got) != 3 || got[2] != 120 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	if _, err := ParseInts("a,b"); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := ParseInts(" , "); err == nil {
+		t.Fatal("want error for empty list")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got := ParseList("pcg, pipecg ,,pipe-pscg")
+	if len(got) != 3 || got[1] != "pipecg" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestProblemByName(t *testing.T) {
+	for _, name := range []string{"poisson125", "poisson7", "ecology2", "thermal2", "serena"} {
+		pr, err := ProblemByName(name, 8, 32)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pr.A == nil || pr.A.Rows == 0 {
+			t.Fatalf("%s: empty problem", name)
+		}
+		if pr.Decomp == nil {
+			t.Fatalf("%s: missing decomposition hint", name)
+		}
+	}
+	if _, err := ProblemByName("bogus", 8, 1); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,169 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation section (see DESIGN.md §5 for the
+// experiment index). It builds the workloads, runs each solver once on the
+// recording simulator engine, and replays the event stream across rank
+// counts to produce the strong-scaling, s-sensitivity, preconditioner,
+// accuracy and SuiteSparse comparisons.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/krylov"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+// Problem is one benchmark workload.
+type Problem struct {
+	Name   string
+	A      *sparse.CSR
+	B      []float64
+	RelTol float64
+	// Grid is set for structured problems, enabling geometric multigrid.
+	Grid *grid.Grid
+	// Decomp describes the domain decomposition the cost model should
+	// assume (3D/2D boxes for stencil problems); nil falls back to 1D row
+	// blocks computed from the matrix structure.
+	Decomp *partition.GridSpec
+	// PaperN/PaperNNZ document the full-scale matrix this instance stands
+	// in for (equal to N/NNZ when running at paper scale).
+	PaperN, PaperNNZ int
+}
+
+// Poisson125 builds the paper's main workload: the Poisson equation on an
+// n×n×n grid with the 125-point stencil and b = A·1. The paper uses n=100
+// (1M unknowns).
+func Poisson125(n int) Problem {
+	g := grid.NewCube(n, grid.Box125)
+	a := g.Laplacian()
+	return Problem{Name: fmt.Sprintf("poisson125-%dk", a.Rows/1000), A: a,
+		B: grid.OnesRHS(a), RelTol: 1e-5, Grid: &g,
+		Decomp: &partition.GridSpec{Nx: n, Ny: n, Nz: n, Radius: 2},
+		PaperN: 1000000, PaperNNZ: 125000000}
+}
+
+// Poisson7 builds a 7-point Poisson problem (used by examples and tests).
+func Poisson7(n int) Problem {
+	g := grid.NewCube(n, grid.Star7)
+	a := g.Laplacian()
+	return Problem{Name: fmt.Sprintf("poisson7-%dk", a.Rows/1000), A: a,
+		B: grid.OnesRHS(a), RelTol: 1e-5, Grid: &g,
+		Decomp: &partition.GridSpec{Nx: n, Ny: n, Nz: n, Radius: 1},
+		PaperN: a.Rows, PaperNNZ: a.NNZ()}
+}
+
+func fromSynth(m synth.Matrix, rtol float64, decomp *partition.GridSpec) Problem {
+	return Problem{Name: m.Name, A: m.A, B: grid.OnesRHS(m.A), RelTol: rtol,
+		Decomp: decomp, PaperN: m.PaperN, PaperNNZ: m.PaperNNZ}
+}
+
+// Ecology2 builds the ecology2 stand-in at the given reduction scale
+// (1 = full size). The paper runs it at rtol 1e-2 (Fig. 2) because the
+// s-step variants stagnate before 1e-5.
+func Ecology2(scale int) Problem {
+	if scale < 1 {
+		scale = 1
+	}
+	return fromSynth(synth.Ecology2(scale), 1e-2,
+		&partition.GridSpec{Nx: 1001 / scale, Ny: 999 / scale, Nz: 1, Radius: 1})
+}
+
+// Thermal2 builds the thermal2 stand-in (Table II; rtol 1e-5).
+func Thermal2(scale int) Problem {
+	if scale < 1 {
+		scale = 1
+	}
+	// The stand-in's extra mesh-irregularity edges reach up to two grid
+	// rows away, so a radius-2 2D decomposition bounds its halo.
+	return fromSynth(synth.Thermal2(scale), 1e-5,
+		&partition.GridSpec{Nx: 1109 / scale, Ny: 1108 / scale, Nz: 1, Radius: 2})
+}
+
+// Serena builds the Serena stand-in (Table II; rtol 1e-5).
+func Serena(scale int) Problem {
+	if scale < 1 {
+		scale = 1
+	}
+	return fromSynth(synth.Serena(scale), 1e-5,
+		&partition.GridSpec{Nx: 112 / scale, Ny: 112 / scale, Nz: 111 / scale, Radius: 2})
+}
+
+// MakePC builds a preconditioner by name for a problem. Supported names:
+// none, jacobi, sor, bjacobi, chebyshev, icc, mg (structured problems
+// only), gamg.
+func MakePC(name string, pr Problem) (engine.Preconditioner, error) {
+	a := pr.A
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "jacobi":
+		return precond.NewJacobi(a, 0, a.Rows), nil
+	case "sor":
+		return precond.NewSSOR(a, 0, a.Rows, 1.0, 1), nil
+	case "bjacobi":
+		return precond.NewBlockJacobi(a, 16), nil
+	case "chebyshev":
+		return precond.NewChebyshev(a, 4, 30), nil
+	case "icc":
+		return precond.NewICC(a, 8)
+	case "mg":
+		if pr.Grid == nil {
+			return nil, fmt.Errorf("bench: %s is unstructured; mg needs a grid", pr.Name)
+		}
+		return precond.NewGMG(*pr.Grid, a, 600)
+	case "gamg":
+		return precond.NewAMG(a, precond.AMGOptions{})
+	}
+	return nil, fmt.Errorf("bench: unknown preconditioner %q", name)
+}
+
+// MethodNames lists every implemented solver in presentation order.
+var MethodNames = []string{
+	"pcg", "cg-cg", "groppcg", "pipecg", "pipecg3", "pipecg-oati",
+	"scg", "pscg", "scg-s", "pipe-scg", "pipe-pscg", "hybrid",
+}
+
+// Solver returns the solver function for a method name.
+func Solver(name string) (krylov.Solver, error) {
+	switch name {
+	case "pcg":
+		return krylov.PCG, nil
+	case "cg-cg":
+		return krylov.CGCG, nil
+	case "groppcg":
+		return krylov.GROPPCG, nil
+	case "pipecg":
+		return krylov.PIPECG, nil
+	case "pipecg3":
+		return krylov.PIPECG3, nil
+	case "pipecg-oati":
+		return krylov.PIPECGOATI, nil
+	case "scg":
+		return krylov.SCG, nil
+	case "pscg":
+		return krylov.PSCG, nil
+	case "scg-s":
+		return krylov.SCGS, nil
+	case "pipe-scg":
+		return krylov.PIPESCG, nil
+	case "pipe-pscg":
+		return krylov.PIPEPSCG, nil
+	case "hybrid":
+		return krylov.Hybrid, nil
+	}
+	return nil, fmt.Errorf("bench: unknown method %q", name)
+}
+
+// Unpreconditioned reports whether the method ignores the preconditioner.
+func Unpreconditioned(name string) bool {
+	switch name {
+	case "scg", "scg-s", "pipe-scg":
+		return true
+	}
+	return false
+}

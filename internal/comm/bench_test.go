@@ -1,0 +1,78 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func benchAllreduce(b *testing.B, p int, latency time.Duration, nonblocking bool) {
+	b.Helper()
+	f := NewFabric(p, latency)
+	seq := 0
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for r := 0; r < p; r++ {
+			go func(r, seq int) {
+				defer wg.Done()
+				buf := []float64{float64(r), 1, 2, 3}
+				if nonblocking {
+					req := f.iallreduceSum(r, seq, buf)
+					req.Wait()
+				} else {
+					f.allreduceSum(r, seq, buf)
+				}
+			}(r, seq)
+		}
+		wg.Wait()
+		seq++
+	}
+}
+
+func BenchmarkAllreduce8(b *testing.B)   { benchAllreduce(b, 8, 0, false) }
+func BenchmarkIallreduce8(b *testing.B)  { benchAllreduce(b, 8, 0, true) }
+func BenchmarkAllreduce16(b *testing.B)  { benchAllreduce(b, 16, 0, false) }
+func BenchmarkIallreduce16(b *testing.B) { benchAllreduce(b, 16, 0, true) }
+
+// BenchmarkOverlapBenefit measures how much useful work hides behind an
+// in-flight non-blocking allreduce under injected network latency — the
+// microbenchmark version of the paper's core idea.
+func BenchmarkOverlapBenefit(b *testing.B) {
+	const p = 4
+	const latency = 200 * time.Microsecond
+	work := func() float64 {
+		s := 0.0
+		for i := 0; i < 20000; i++ {
+			s += float64(i%13) * 1.0001
+		}
+		return s
+	}
+	run := func(overlap bool) time.Duration {
+		f := NewFabric(p, latency)
+		start := time.Now()
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for r := 0; r < p; r++ {
+			go func(r int) {
+				defer wg.Done()
+				buf := []float64{1}
+				if overlap {
+					req := f.iallreduceSum(r, 0, buf)
+					_ = work()
+					req.Wait()
+				} else {
+					f.allreduceSum(r, 0, buf)
+					_ = work()
+				}
+			}(r)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		tBlocking := run(false)
+		tOverlap := run(true)
+		b.ReportMetric(float64(tBlocking)/float64(tOverlap), "overlap-speedup")
+	}
+}

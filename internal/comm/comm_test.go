@@ -1,0 +1,291 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/partition"
+	"repro/internal/vec"
+)
+
+func runAllreduce(t *testing.T, p int, latency time.Duration) {
+	t.Helper()
+	f := NewFabric(p, latency)
+	results := make([][]float64, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			buf := []float64{float64(r + 1), float64(r * r)}
+			f.allreduceSum(r, 0, buf)
+			results[r] = buf
+		}(r)
+	}
+	wg.Wait()
+	wantA := float64(p * (p + 1) / 2)
+	var wantB float64
+	for r := 0; r < p; r++ {
+		wantB += float64(r * r)
+	}
+	for r := 0; r < p; r++ {
+		if results[r][0] != wantA || results[r][1] != wantB {
+			t.Fatalf("p=%d rank %d got %v want [%g %g]", p, r, results[r], wantA, wantB)
+		}
+	}
+}
+
+func TestAllreduceSumVariousP(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16} {
+		runAllreduce(t, p, 0)
+	}
+}
+
+func TestAllreduceWithLatency(t *testing.T) {
+	runAllreduce(t, 6, 200*time.Microsecond)
+}
+
+func TestIallreduceOverlap(t *testing.T) {
+	const p = 4
+	f := NewFabric(p, 2*time.Millisecond)
+	sums := make([]float64, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			buf := []float64{1}
+			req := f.iallreduceSum(r, 0, buf)
+			// Useful work while the reduction is in flight.
+			acc := 0.0
+			for i := 0; i < 100000; i++ {
+				acc += math.Sqrt(float64(i))
+			}
+			_ = acc
+			req.Wait()
+			sums[r] = buf[0]
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if sums[r] != p {
+			t.Fatalf("rank %d sum %g want %d", r, sums[r], p)
+		}
+	}
+}
+
+func TestConcurrentCollectives(t *testing.T) {
+	// Two outstanding iallreduces plus a blocking one must not cross-match.
+	const p = 3
+	f := NewFabric(p, 0)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	errs := make(chan string, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			a := []float64{1}
+			b := []float64{10}
+			c := []float64{100}
+			ra := f.iallreduceSum(r, 0, a)
+			rb := f.iallreduceSum(r, 1, b)
+			f.allreduceSum(r, 2, c)
+			ra.Wait()
+			rb.Wait()
+			if a[0] != 3 || b[0] != 30 || c[0] != 300 {
+				errs <- "mismatch"
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 5
+	f := NewFabric(p, 0)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			f.barrier(r, 0)
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("barrier deadlocked")
+	}
+}
+
+func TestDistributedSpMVMatchesSequential(t *testing.T) {
+	g := grid.NewSquare(9, grid.Star5)
+	a := g.Laplacian()
+	n := a.Rows
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	a.MulVec(want, x)
+
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		pt := partition.RowBlock(n, p)
+		f := NewFabric(p, 0)
+		engines := NewEngines(f, a, pt, nil)
+		xs := Scatter(pt, x)
+		ys := make([][]float64, p)
+		Run(engines, func(r int, e *Engine) {
+			y := make([]float64, e.NLocal())
+			e.SpMV(y, xs[r])
+			ys[r] = y
+		})
+		got := Gather(pt, ys)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("p=%d row %d: %g want %g", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDistributedDotMatchesSequential(t *testing.T) {
+	n := 101
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	want := vec.Dot(x, y)
+	p := 4
+	pt := partition.RowBlock(n, p)
+	f := NewFabric(p, 0)
+	// Use the fabric directly for a pure reduction test.
+	got := make([]float64, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			local := vec.Dot(x[pt.Lo(r):pt.Hi(r)], y[pt.Lo(r):pt.Hi(r)])
+			buf := []float64{local}
+			f.allreduceSum(r, 0, buf)
+			got[r] = buf[0]
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if math.Abs(got[r]-want) > 1e-10*math.Abs(want) {
+			t.Fatalf("rank %d dot %g want %g", r, got[r], want)
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	pt := partition.RowBlock(17, 5)
+	x := make([]float64, 17)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	back := Gather(pt, Scatter(pt, x))
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatal("scatter/gather mismatch")
+		}
+	}
+}
+
+func TestEngineCounters(t *testing.T) {
+	g := grid.NewSquare(4, grid.Star5)
+	a := g.Laplacian()
+	pt := partition.RowBlock(a.Rows, 2)
+	f := NewFabric(2, 0)
+	engines := NewEngines(f, a, pt, nil)
+	Run(engines, func(r int, e *Engine) {
+		x := make([]float64, e.NLocal())
+		y := make([]float64, e.NLocal())
+		e.SpMV(y, x)
+		e.ApplyPC(y, x)
+		e.AllreduceSum([]float64{1})
+		req := e.IallreduceSum([]float64{2})
+		req.Wait()
+		e.Charge(100, 0)
+	})
+	for r, e := range engines {
+		c := e.Counters()
+		if c.SpMV != 1 || c.PCApply != 1 || c.Allreduce != 1 || c.Iallreduce != 1 || c.Flops != 100 {
+			t.Fatalf("rank %d counters: %v", r, c)
+		}
+	}
+}
+
+func TestNewEnginesValidation(t *testing.T) {
+	a := grid.NewSquare(3, grid.Star5).Laplacian()
+	f := NewFabric(2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched partition")
+		}
+	}()
+	NewEngines(f, a, partition.RowBlock(a.Rows, 3), nil)
+}
+
+// Property: tree allreduce equals the plain sum for random payloads and
+// rank counts.
+func TestQuickAllreduceMatchesSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(12)
+		words := 1 + rng.Intn(6)
+		vals := make([][]float64, p)
+		want := make([]float64, words)
+		for r := 0; r < p; r++ {
+			vals[r] = make([]float64, words)
+			for w := 0; w < words; w++ {
+				vals[r][w] = rng.NormFloat64()
+				want[w] += vals[r][w]
+			}
+		}
+		fab := NewFabric(p, 0)
+		var wg sync.WaitGroup
+		wg.Add(p)
+		okAll := make([]bool, p)
+		for r := 0; r < p; r++ {
+			go func(r int) {
+				defer wg.Done()
+				buf := append([]float64(nil), vals[r]...)
+				fab.allreduceSum(r, 0, buf)
+				ok := true
+				for w := range buf {
+					if math.Abs(buf[w]-want[w]) > 1e-9*(1+math.Abs(want[w])) {
+						ok = false
+					}
+				}
+				okAll[r] = ok
+			}(r)
+		}
+		wg.Wait()
+		for _, ok := range okAll {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

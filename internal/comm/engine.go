@@ -1,0 +1,188 @@
+package comm
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// Engine is one rank's view of the distributed runtime. It implements
+// engine.Engine: local vectors are slices of length NLocal(), SpMV performs
+// halo exchange with neighbor ranks, and the reductions run on the fabric.
+type Engine struct {
+	f    *Fabric
+	rank int
+	a    *sparse.CSR // shared, read-only
+	pt   partition.Partition
+	halo partition.Halo
+	pc   engine.Preconditioner
+
+	lo, hi  int
+	scratch []float64 // full-length source buffer for SpMV
+	c       trace.Counters
+
+	collSeq int // collective sequence counter, advanced identically on all ranks
+	haloSeq int
+
+	// matrix powers kernel state (EnablePowersKernel / SpMVPowers)
+	powers        *partition.PowersPlan
+	powersScratch [2][]float64
+}
+
+// PCFactory builds a rank-local preconditioner for rows [lo, hi) of a.
+// A nil factory (or a factory returning nil) means identity.
+type PCFactory func(a *sparse.CSR, lo, hi int) engine.Preconditioner
+
+// NewEngines partitions a across p ranks connected by fabric f and returns
+// one engine per rank. The matrix is shared read-only; each rank owns the
+// row block pt assigns to it.
+func NewEngines(f *Fabric, a *sparse.CSR, pt partition.Partition, pcf PCFactory) []*Engine {
+	if pt.P != f.P() {
+		panic("comm: partition rank count does not match fabric")
+	}
+	if pt.N != a.Rows {
+		panic("comm: partition size does not match matrix")
+	}
+	halos := partition.BuildHalos(a, pt)
+	engines := make([]*Engine, pt.P)
+	for r := range engines {
+		e := &Engine{
+			f: f, rank: r, a: a, pt: pt, halo: halos[r],
+			lo: pt.Lo(r), hi: pt.Hi(r),
+			scratch: make([]float64, a.Cols),
+		}
+		if pcf != nil {
+			e.pc = pcf(a, e.lo, e.hi)
+		}
+		engines[r] = e
+	}
+	return engines
+}
+
+// Rank returns this engine's rank id.
+func (e *Engine) Rank() int { return e.rank }
+
+// NLocal implements engine.Engine.
+func (e *Engine) NLocal() int { return e.hi - e.lo }
+
+// NGlobal implements engine.Engine.
+func (e *Engine) NGlobal() int { return e.a.Rows }
+
+// SpMV implements engine.Engine: exchanges halo values with neighbors, then
+// applies the local rows.
+func (e *Engine) SpMV(dst, src []float64) {
+	// Stage local values into the global-indexed scratch buffer.
+	copy(e.scratch[e.lo:e.hi], src)
+
+	seq := e.haloSeq
+	e.haloSeq++
+	// Send owned values each neighbor needs.
+	for nbr, rows := range e.halo.Send {
+		out := make([]float64, len(rows))
+		for i, row := range rows {
+			out[i] = src[row-e.lo]
+		}
+		e.f.send(e.rank, nbr, kindHalo, seq, out)
+	}
+	// Receive ghost values.
+	for nbr, cols := range e.halo.Recv {
+		in := e.f.recv(e.rank, nbr, kindHalo, seq)
+		for i, col := range cols {
+			e.scratch[col] = in[i]
+		}
+	}
+
+	a := e.a
+	localNNZ := 0
+	for i := e.lo; i < e.hi; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * e.scratch[a.Col[k]]
+		}
+		dst[i-e.lo] = s
+	}
+	localNNZ = a.RowPtr[e.hi] - a.RowPtr[e.lo]
+	e.c.SpMV++
+	e.c.HaloExchanges++
+	e.c.SpMVFlops += 2 * float64(localNNZ)
+}
+
+// ApplyPC implements engine.Engine.
+func (e *Engine) ApplyPC(dst, src []float64) {
+	e.c.PCApply++
+	if e.pc == nil {
+		copy(dst, src)
+		return
+	}
+	e.pc.Apply(dst, src)
+	flops, _, _, _ := e.pc.WorkPerApply()
+	e.c.PCFlops += flops
+}
+
+// AllreduceSum implements engine.Engine.
+func (e *Engine) AllreduceSum(buf []float64) {
+	seq := e.collSeq
+	e.collSeq++
+	e.f.allreduceSum(e.rank, seq, buf)
+	e.c.Allreduce++
+	e.c.ReduceWords += len(buf)
+}
+
+// IallreduceSum implements engine.Engine.
+func (e *Engine) IallreduceSum(buf []float64) engine.Request {
+	seq := e.collSeq
+	e.collSeq++
+	e.c.Iallreduce++
+	e.c.ReduceWords += len(buf)
+	return e.f.iallreduceSum(e.rank, seq, buf)
+}
+
+// Charge implements engine.Engine.
+func (e *Engine) Charge(flops, bytes float64) { e.c.Flops += flops }
+
+// Counters implements engine.Engine.
+func (e *Engine) Counters() *trace.Counters { return &e.c }
+
+// Barrier synchronizes all ranks.
+func (e *Engine) Barrier() {
+	seq := e.collSeq
+	e.collSeq++
+	e.f.barrier(e.rank, seq)
+}
+
+// Scatter splits a global vector into per-rank local slices under pt.
+func Scatter(pt partition.Partition, global []float64) [][]float64 {
+	parts := make([][]float64, pt.P)
+	for r := 0; r < pt.P; r++ {
+		local := make([]float64, pt.Rows(r))
+		copy(local, global[pt.Lo(r):pt.Hi(r)])
+		parts[r] = local
+	}
+	return parts
+}
+
+// Gather reassembles per-rank local slices into a global vector.
+func Gather(pt partition.Partition, parts [][]float64) []float64 {
+	global := make([]float64, pt.N)
+	for r := 0; r < pt.P; r++ {
+		copy(global[pt.Lo(r):pt.Hi(r)], parts[r])
+	}
+	return global
+}
+
+// Run executes body concurrently on every engine (one goroutine per rank)
+// and waits for all of them to finish — the SPMD launch.
+func Run(engines []*Engine, body func(rank int, e *Engine)) {
+	var wg sync.WaitGroup
+	wg.Add(len(engines))
+	for r, e := range engines {
+		go func(r int, e *Engine) {
+			defer wg.Done()
+			body(r, e)
+		}(r, e)
+	}
+	wg.Wait()
+}

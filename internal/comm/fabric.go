@@ -1,0 +1,169 @@
+// Package comm implements the distributed-memory runtime the paper assumes
+// from MPI, using goroutines as ranks: point-to-point message delivery,
+// blocking tree allreduce (MPI_Allreduce), a genuinely asynchronous
+// non-blocking allreduce (MPI_Iallreduce with progression, the primitive
+// PIPE-sCG pipelines against), and halo exchange for the distributed SPMV.
+//
+// An optional injected per-hop latency emulates interconnect latency, so the
+// benefit of overlapping communication with computation is observable on a
+// single machine: while a reduction "travels" (a timer), the rank's compute
+// goroutine keeps the CPU.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// message kinds, part of the matching key so collectives, halo exchange and
+// user messages never cross-match.
+const (
+	kindReduce = iota
+	kindBcast
+	kindHalo
+)
+
+type key struct {
+	from, kind, seq int
+}
+
+// mailbox matches sends to receives by (from, kind, seq). Each key is used
+// for exactly one message; channels are buffered so delivery never blocks.
+type mailbox struct {
+	mu sync.Mutex
+	m  map[key]chan []float64
+}
+
+func (mb *mailbox) channel(k key) chan []float64 {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	ch, ok := mb.m[k]
+	if !ok {
+		ch = make(chan []float64, 1)
+		mb.m[k] = ch
+	}
+	return ch
+}
+
+func (mb *mailbox) drop(k key) {
+	mb.mu.Lock()
+	delete(mb.m, k)
+	mb.mu.Unlock()
+}
+
+// Fabric connects P ranks. It is safe for concurrent use by all ranks.
+type Fabric struct {
+	p          int
+	hopLatency time.Duration
+	boxes      []*mailbox
+}
+
+// NewFabric creates a fabric for p ranks with the given per-hop injected
+// latency (0 means in-memory speed).
+func NewFabric(p int, hopLatency time.Duration) *Fabric {
+	if p < 1 {
+		panic(fmt.Sprintf("comm: bad rank count %d", p))
+	}
+	f := &Fabric{p: p, hopLatency: hopLatency, boxes: make([]*mailbox, p)}
+	for i := range f.boxes {
+		f.boxes[i] = &mailbox{m: map[key]chan []float64{}}
+	}
+	return f
+}
+
+// P returns the number of ranks.
+func (f *Fabric) P() int { return f.p }
+
+// send delivers data to rank `to` after the injected hop latency. The data
+// slice is owned by the receiver after the call; senders must not reuse it.
+func (f *Fabric) send(from, to, kind, seq int, data []float64) {
+	ch := f.boxes[to].channel(key{from, kind, seq})
+	if f.hopLatency <= 0 {
+		ch <- data
+		return
+	}
+	time.AfterFunc(f.hopLatency, func() { ch <- data })
+}
+
+// recv blocks until the matching message arrives.
+func (f *Fabric) recv(me, from, kind, seq int) []float64 {
+	k := key{from, kind, seq}
+	data := <-f.boxes[me].channel(k)
+	f.boxes[me].drop(k)
+	return data
+}
+
+// allreduceSum performs a binomial-tree reduce to rank 0 followed by a
+// binomial-tree broadcast, summing buf element-wise across ranks. All ranks
+// must call it with the same seq and equal-length buffers. The summation
+// order is deterministic for a given P.
+func (f *Fabric) allreduceSum(rank, seq int, buf []float64) {
+	p := f.p
+	if p == 1 {
+		return
+	}
+	// Reduce: at round k (mask = 1<<k), ranks with bit k set send to
+	// rank^mask and leave; others receive if the partner exists.
+	for mask := 1; mask < p; mask <<= 1 {
+		if rank&mask != 0 {
+			dst := rank &^ mask
+			out := make([]float64, len(buf))
+			copy(out, buf)
+			f.send(rank, dst, kindReduce, seq, out)
+			break
+		}
+		src := rank | mask
+		if src < p {
+			in := f.recv(rank, src, kindReduce, seq)
+			for i, v := range in {
+				buf[i] += v
+			}
+		}
+	}
+	// Broadcast from rank 0 down the same tree, highest mask first.
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	for mask := top >> 1; mask >= 1; mask >>= 1 {
+		if rank&(mask-1) == 0 { // participant at this round
+			if rank&mask != 0 {
+				src := rank &^ mask
+				in := f.recv(rank, src, kindBcast, seq)
+				copy(buf, in)
+			} else if dst := rank | mask; dst < p {
+				out := make([]float64, len(buf))
+				copy(out, buf)
+				f.send(rank, dst, kindBcast, seq, out)
+			}
+		}
+	}
+}
+
+// Request is a pending non-blocking allreduce.
+type Request struct {
+	done chan struct{}
+}
+
+// Wait blocks until the reduction has completed and the buffer passed to
+// iallreduceSum holds the global sums.
+func (r *Request) Wait() { <-r.done }
+
+// iallreduceSum starts the same tree reduction on a background goroutine —
+// the asynchronous progress a pipelined method overlaps compute with. The
+// caller must not touch buf until Wait returns.
+func (f *Fabric) iallreduceSum(rank, seq int, buf []float64) *Request {
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		f.allreduceSum(rank, seq, buf)
+		close(req.done)
+	}()
+	return req
+}
+
+// Barrier synchronizes all ranks (an allreduce of one word).
+func (f *Fabric) barrier(rank, seq int) {
+	one := []float64{1}
+	f.allreduceSum(rank, seq, one)
+}

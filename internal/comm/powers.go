@@ -1,0 +1,78 @@
+package comm
+
+import (
+	"repro/internal/partition"
+)
+
+// EnablePowersKernel precomputes the depth-k matrix powers plan for this
+// rank, enabling SpMVPowers. Every rank of the fabric must call it with the
+// same depth before any rank calls SpMVPowers.
+func (e *Engine) EnablePowersKernel(depth int) {
+	plans := partition.BuildPowersPlansCSR(e.a.RowPtr, e.a.Col, e.pt, depth)
+	e.powers = &plans[e.rank]
+	e.powersScratch = [2][]float64{make([]float64, e.a.Cols), make([]float64, e.a.Cols)}
+}
+
+// SpMVPowers computes dst[j] = A^{j+1}·src over the local rows for
+// j = 0..depth-1 with a single ghost exchange (Hoemmen's matrix powers
+// kernel): the depth-k ghost region of src arrives once, and ghost-zone
+// rows of the intermediate products are recomputed redundantly.
+func (e *Engine) SpMVPowers(dst [][]float64, src []float64) {
+	plan := e.powers
+	if plan == nil {
+		panic("comm: EnablePowersKernel was not called")
+	}
+	if len(dst) > plan.Depth {
+		panic("comm: SpMVPowers deeper than the plan")
+	}
+	depth := len(dst)
+
+	// Single exchange: ship owned values, receive the deep ghost region.
+	seq := e.haloSeq
+	e.haloSeq++
+	for nbr, rows := range plan.Send {
+		out := make([]float64, len(rows))
+		for i, row := range rows {
+			out[i] = src[row-e.lo]
+		}
+		e.f.send(e.rank, nbr, kindHalo, seq, out)
+	}
+	cur := e.powersScratch[0]
+	copy(cur[e.lo:e.hi], src)
+	for nbr, cols := range plan.GhostFrom {
+		in := e.f.recv(e.rank, nbr, kindHalo, seq)
+		for i, col := range cols {
+			cur[col] = in[i]
+		}
+	}
+
+	e.c.HaloExchanges++
+	next := e.powersScratch[1]
+	a := e.a
+	applyRow := func(i int) float64 {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * cur[a.Col[k]]
+		}
+		return s
+	}
+	for j := 0; j < depth; j++ {
+		// Local rows.
+		for i := e.lo; i < e.hi; i++ {
+			v := applyRow(i)
+			next[i] = v
+			dst[j][i-e.lo] = v
+		}
+		// Redundant ghost-zone rows needed by later steps.
+		if j < depth-1 {
+			for _, i := range plan.Extra[j] {
+				next[i] = applyRow(i)
+				e.c.SpMVFlops += 2 * float64(a.RowPtr[i+1]-a.RowPtr[i])
+			}
+		}
+		cur, next = next, cur
+		localNNZ := a.RowPtr[e.hi] - a.RowPtr[e.lo]
+		e.c.SpMV++
+		e.c.SpMVFlops += 2 * float64(localNNZ)
+	}
+}

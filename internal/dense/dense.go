@@ -1,0 +1,336 @@
+// Package dense provides small dense linear algebra used by the scalar work
+// of the s-step conjugate gradient methods: s×s matrices, LU factorization
+// with partial pivoting, Cholesky factorization, and multi-right-hand-side
+// triangular solves.
+//
+// Matrices here are tiny (s is 2..8 in practice), so the implementation
+// favors clarity and numerical robustness over blocking or vectorization.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major n×m matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("dense: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns a·b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: Mul dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.Data[i*a.Cols+k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+			for j, bv := range brow {
+				crow[j] += aik * bv
+			}
+		}
+	}
+	return c
+}
+
+// Add returns a+b.
+func Add(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("dense: Add dimension mismatch")
+	}
+	c := a.Clone()
+	for i, v := range b.Data {
+		c.Data[i] += v
+	}
+	return c
+}
+
+// Scale multiplies every element by alpha in place and returns m.
+func (m *Matrix) Scale(alpha float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+	return m
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("dense: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MaxAbs returns the largest absolute element value (the max norm).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// ErrSingular is returned when a factorization meets a pivot that is exactly
+// zero or not finite, so the system cannot be solved reliably.
+var ErrSingular = errors.New("dense: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U is upper triangular, both packed into lu.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int // piv[k] = row swapped into position k at step k
+	sign int   // permutation parity, for Det
+}
+
+// FactorLU computes the LU factorization of the square matrix a with partial
+// pivoting. a is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: FactorLU needs square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, a.Data)
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		mx := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > mx {
+				mx, p = a, i
+			}
+		}
+		f.piv[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			f.sign = -f.sign
+		}
+		pv := lu[k*n+k]
+		if pv == 0 || math.IsNaN(pv) || math.IsInf(pv, 0) {
+			return nil, ErrSingular
+		}
+		inv := 1 / pv
+		for i := k + 1; i < n; i++ {
+			lik := lu[i*n+k] * inv
+			lu[i*n+k] = lik
+			if lik == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= lik * lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b, overwriting nothing; x is returned fresh.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("dense: LU.Solve dimension mismatch")
+	}
+	x := make([]float64, f.n)
+	copy(x, b)
+	f.solveInPlace(x)
+	return x
+}
+
+func (f *LU) solveInPlace(x []float64) {
+	n, lu := f.n, f.lu
+	// Apply permutation.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit L.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += lu[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i*n+j] * x[j]
+		}
+		x[i] = s / lu[i*n+i]
+	}
+}
+
+// SolveMatrix solves A·X = B column-by-column for an n×m right-hand side.
+func (f *LU) SolveMatrix(b *Matrix) *Matrix {
+	if b.Rows != f.n {
+		panic("dense: LU.SolveMatrix dimension mismatch")
+	}
+	x := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, f.n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < f.n; i++ {
+			col[i] = b.At(i, j)
+		}
+		f.solveInPlace(col)
+		for i := 0; i < f.n; i++ {
+			x.Set(i, j, col[i])
+		}
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for k := 0; k < f.n; k++ {
+		d *= f.lu[k*f.n+k]
+	}
+	return d
+}
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix: A = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive definite matrix a (only the lower triangle of a is read).
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: FactorCholesky needs square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	c := &Cholesky{n: n, l: make([]float64, n*n)}
+	l := c.l
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrSingular
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// Solve solves A·x = b using the Cholesky factor.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("dense: Cholesky.Solve dimension mismatch")
+	}
+	n, l := c.n, c.l
+	x := make([]float64, n)
+	copy(x, b)
+	// L·y = b
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= l[i*n+j] * x[j]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	// Lᵀ·x = y
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= l[j*n+i] * x[j]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	return x
+}
+
+// SymmetrizedCopy returns (a + aᵀ)/2; useful to clean up Gram matrices whose
+// off-diagonal pairs differ by rounding before factorization.
+func SymmetrizedCopy(a *Matrix) *Matrix {
+	if a.Rows != a.Cols {
+		panic("dense: SymmetrizedCopy needs square matrix")
+	}
+	s := NewMatrix(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			s.Set(i, j, 0.5*(a.At(i, j)+a.At(j, i)))
+		}
+	}
+	return s
+}

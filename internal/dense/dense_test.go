@@ -1,0 +1,268 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func matApproxEqual(t *testing.T, a, b *Matrix, tol float64) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("shape mismatch: %d×%d vs %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			t.Fatalf("element %d differs: %g vs %g", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 5 {
+		t.Fatal("Transpose broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone is shallow")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	matApproxEqual(t, Mul(a, b), want, 0)
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := a.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec got %v", y)
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{1, 1}, {1, 1}})
+	got := Add(a, b).Scale(2)
+	want := FromRows([][]float64{{4, 6}, {8, 10}})
+	matApproxEqual(t, got, want, 0)
+}
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randomSPD returns BᵀB + n·I, which is SPD.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := randomMatrix(rng, n)
+	a := Mul(b.Transpose(), b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 12; n++ {
+		a := randomMatrix(rng, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+5) // keep comfortably nonsingular
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.Float64() - 0.5
+		}
+		b := a.MulVec(xTrue)
+		f, err := FactorLU(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := f.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+				t.Fatalf("n=%d: x[%d]=%g want %g", n, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestLUSolveMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, m := 5, 3
+	a := randomSPD(rng, n)
+	xTrue := NewMatrix(n, m)
+	for i := range xTrue.Data {
+		xTrue.Data[i] = rng.NormFloat64()
+	}
+	b := Mul(a, xTrue)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matApproxEqual(t, f.SolveMatrix(b), xTrue, 1e-9)
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(NewMatrix(2, 3)); err == nil {
+		t.Fatal("want error for non-square input")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-(-6)) > 1e-12 {
+		t.Fatalf("det = %g want -6", f.Det())
+	}
+}
+
+func TestCholeskySolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 10; n++ {
+		a := randomSPD(rng, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		c, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := c.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("n=%d: x[%d]=%g want %g", n, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := FactorCholesky(a); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSymmetrizedCopy(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {4, 3}})
+	s := SymmetrizedCopy(a)
+	if s.At(0, 1) != 3 || s.At(1, 0) != 3 || s.At(0, 0) != 1 {
+		t.Fatalf("got %v", s.Data)
+	}
+}
+
+// Property: for random nonsingular A and b, A·Solve(A,b) ≈ b.
+func TestQuickLUResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randomMatrix(r, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+4)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		lu, err := FactorLU(a)
+		if err != nil {
+			return true // skip near-singular draws
+		}
+		x := lu.Solve(b)
+		res := a.MulVec(x)
+		for i := range res {
+			if math.Abs(res[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky and LU agree on SPD systems.
+func TestQuickCholeskyMatchesLU(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		a := randomSPD(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		lu, err1 := FactorLU(a)
+		ch, err2 := FactorCholesky(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		x1, x2 := lu.Solve(b), ch.Solve(b)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-8*(1+math.Abs(x1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLUFactorSolve8(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPD(rng, 8)
+	rhs := make([]float64, 8)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := FactorLU(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = f.Solve(rhs)
+	}
+}

@@ -1,0 +1,159 @@
+// Package engine defines the runtime abstraction the Krylov solvers are
+// written against, plus the reference sequential implementation.
+//
+// Solvers are written once, in SPMD style, as the per-rank program: they
+// operate on local vector slices, call SpMV/ApplyPC for the communication-
+// aware kernels, compute local dot products themselves, and combine them
+// with AllreduceSum (blocking, PCG-style) or IallreduceSum (non-blocking,
+// the pipelined methods' MPI_Iallreduce). Three engines implement the
+// interface:
+//
+//   - engine.Seq — one rank, global vectors, no timing: reference numerics.
+//   - comm.Engine — R goroutine ranks with channel-based collectives and a
+//     true asynchronous allreduce (real overlap).
+//   - sim.Engine — one rank running the real numerics while a virtual-clock
+//     cost model prices every kernel for a modeled machine with P ranks.
+package engine
+
+import (
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// Request is a pending non-blocking reduction. Wait blocks until the reduced
+// values are available in the buffer passed to IallreduceSum.
+type Request interface {
+	Wait()
+}
+
+// Preconditioner applies M⁻¹ to a vector. Implementations live in
+// internal/precond; the engine routes ApplyPC through one of these.
+type Preconditioner interface {
+	// Apply computes dst = M⁻¹·src. dst and src do not alias.
+	Apply(dst, src []float64)
+	// Name identifies the preconditioner in reports ("jacobi", "ssor", ...).
+	Name() string
+	// WorkPerApply returns the modeled global cost of one application:
+	// floating point operations and bytes of memory traffic, plus the
+	// number of neighbor-exchange rounds and internal allreduces the
+	// distributed application would need (0 for local preconditioners).
+	WorkPerApply() (flops, bytes float64, p2pRounds, allreduces int)
+}
+
+// PowersKernel is an optional Engine capability: the matrix powers kernel
+// (Hoemmen), computing dst[j] = A^{j+1}·src for j = 0..len(dst)-1 with a
+// single communication phase instead of one halo exchange per product. The
+// paper's §II discusses why PIPE-sCG does not require it (it hides the
+// allreduce, not the SPMV's neighbor traffic) but can compose with it for
+// unpreconditioned solves.
+type PowersKernel interface {
+	SpMVPowers(dst [][]float64, src []float64)
+}
+
+// Engine is the runtime a solver executes on.
+type Engine interface {
+	// NLocal returns the number of rows this rank owns.
+	NLocal() int
+	// NGlobal returns the global problem size.
+	NGlobal() int
+
+	// SpMV computes dst = A·src over the local rows, performing whatever
+	// halo communication the backend needs. dst and src must not alias.
+	SpMV(dst, src []float64)
+
+	// ApplyPC computes dst = M⁻¹·src over the local rows.
+	ApplyPC(dst, src []float64)
+
+	// AllreduceSum sums buf element-wise across all ranks, blocking.
+	AllreduceSum(buf []float64)
+
+	// IallreduceSum starts a non-blocking element-wise sum of buf across
+	// ranks. buf must not be read or written until the returned request's
+	// Wait returns, after which buf holds the global sums.
+	IallreduceSum(buf []float64) Request
+
+	// Charge accounts local vector work (VMAs, recurrence linear
+	// combinations, local dot products): flops executed and bytes of
+	// memory traffic. Backends that model time price this; all backends
+	// count it.
+	Charge(flops, bytes float64)
+
+	// Counters exposes the kernel counters of this rank.
+	Counters() *trace.Counters
+}
+
+// Seq is the single-rank reference engine: global vectors, immediate
+// reductions, no cost model beyond counters.
+type Seq struct {
+	A  *sparse.CSR
+	PC Preconditioner
+	C  trace.Counters
+}
+
+// NewSeq returns a sequential engine for A with the given preconditioner
+// (nil means identity — the unpreconditioned methods).
+func NewSeq(a *sparse.CSR, pc Preconditioner) *Seq {
+	return &Seq{A: a, PC: pc}
+}
+
+// NLocal implements Engine.
+func (e *Seq) NLocal() int { return e.A.Rows }
+
+// NGlobal implements Engine.
+func (e *Seq) NGlobal() int { return e.A.Rows }
+
+// SpMV implements Engine.
+func (e *Seq) SpMV(dst, src []float64) {
+	e.A.MulVec(dst, src)
+	e.C.SpMV++
+	e.C.HaloExchanges++
+	e.C.SpMVFlops += 2 * float64(e.A.NNZ())
+}
+
+// SpMVPowers implements PowersKernel (trivially, with one rank there is no
+// communication to save).
+func (e *Seq) SpMVPowers(dst [][]float64, src []float64) {
+	cur := src
+	for j := range dst {
+		e.A.MulVec(dst[j], cur)
+		cur = dst[j]
+		e.C.SpMV++
+		e.C.SpMVFlops += 2 * float64(e.A.NNZ())
+	}
+	e.C.HaloExchanges++
+}
+
+// ApplyPC implements Engine.
+func (e *Seq) ApplyPC(dst, src []float64) {
+	e.C.PCApply++
+	if e.PC == nil {
+		copy(dst, src)
+		return
+	}
+	e.PC.Apply(dst, src)
+	flops, _, _, _ := e.PC.WorkPerApply()
+	e.C.PCFlops += flops
+}
+
+// AllreduceSum implements Engine; with one rank it is a no-op on the data.
+func (e *Seq) AllreduceSum(buf []float64) {
+	e.C.Allreduce++
+	e.C.ReduceWords += len(buf)
+}
+
+type seqRequest struct{}
+
+func (seqRequest) Wait() {}
+
+// IallreduceSum implements Engine.
+func (e *Seq) IallreduceSum(buf []float64) Request {
+	e.C.Iallreduce++
+	e.C.ReduceWords += len(buf)
+	return seqRequest{}
+}
+
+// Charge implements Engine.
+func (e *Seq) Charge(flops, bytes float64) { e.C.Flops += flops }
+
+// Counters implements Engine.
+func (e *Seq) Counters() *trace.Counters { return &e.C }

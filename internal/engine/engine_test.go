@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+type fakePC struct{ applies int }
+
+func (f *fakePC) Apply(dst, src []float64) {
+	f.applies++
+	for i := range dst {
+		dst[i] = 2 * src[i]
+	}
+}
+func (f *fakePC) Name() string { return "fake" }
+func (f *fakePC) WorkPerApply() (float64, float64, int, int) {
+	return 10, 20, 1, 0
+}
+
+func TestSeqSpMVAndCounters(t *testing.T) {
+	a := sparse.FromDense(2, 2, []float64{2, 0, 0, 3})
+	e := NewSeq(a, nil)
+	if e.NLocal() != 2 || e.NGlobal() != 2 {
+		t.Fatal("sizes")
+	}
+	y := make([]float64, 2)
+	e.SpMV(y, []float64{1, 1})
+	if y[0] != 2 || y[1] != 3 {
+		t.Fatalf("y = %v", y)
+	}
+	if e.Counters().SpMV != 1 || e.Counters().SpMVFlops != 4 {
+		t.Fatalf("counters %+v", e.Counters())
+	}
+}
+
+func TestSeqApplyPCNilIsIdentity(t *testing.T) {
+	a := sparse.Identity(3)
+	e := NewSeq(a, nil)
+	dst := make([]float64, 3)
+	e.ApplyPC(dst, []float64{1, 2, 3})
+	if dst[1] != 2 {
+		t.Fatal("identity PC broken")
+	}
+	if e.Counters().PCApply != 1 {
+		t.Fatal("PC count")
+	}
+}
+
+func TestSeqApplyPCDelegates(t *testing.T) {
+	a := sparse.Identity(2)
+	pc := &fakePC{}
+	e := NewSeq(a, pc)
+	dst := make([]float64, 2)
+	e.ApplyPC(dst, []float64{3, 4})
+	if dst[0] != 6 || pc.applies != 1 {
+		t.Fatal("delegation broken")
+	}
+	if e.Counters().PCFlops != 10 {
+		t.Fatal("PC flops not charged")
+	}
+}
+
+func TestSeqReductionsAreLocalNoOps(t *testing.T) {
+	e := NewSeq(sparse.Identity(2), nil)
+	buf := []float64{5, 7}
+	e.AllreduceSum(buf)
+	if buf[0] != 5 || buf[1] != 7 {
+		t.Fatal("single-rank allreduce must not change data")
+	}
+	req := e.IallreduceSum(buf)
+	req.Wait()
+	if e.Counters().Allreduce != 1 || e.Counters().Iallreduce != 1 || e.Counters().ReduceWords != 4 {
+		t.Fatalf("counters %+v", e.Counters())
+	}
+}
+
+func TestSeqCharge(t *testing.T) {
+	e := NewSeq(sparse.Identity(2), nil)
+	e.Charge(42, 100)
+	if e.Counters().Flops != 42 {
+		t.Fatal("charge")
+	}
+}

@@ -1,0 +1,213 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestStencilPoints(t *testing.T) {
+	cases := map[Stencil]int{Star7: 7, Box27: 27, Box125: 125, Star5: 5, Box9: 9}
+	for s, want := range cases {
+		if got := s.Points(); got != want {
+			t.Errorf("%v points = %d want %d", s, got, want)
+		}
+		if len(s.offsets()) != want-1 {
+			t.Errorf("%v offsets = %d want %d", s, len(s.offsets()), want-1)
+		}
+	}
+}
+
+func TestStencilString(t *testing.T) {
+	if Box125.String() != "125-pt" || Star5.String() != "5-pt" {
+		t.Fatal("String broken")
+	}
+	if Stencil(99).String() == "" {
+		t.Fatal("unknown stencil should still format")
+	}
+}
+
+func TestIndexCoordsRoundTrip(t *testing.T) {
+	g := Grid{Nx: 3, Ny: 4, Nz: 5, Stencil: Star7}
+	for i := 0; i < g.N(); i++ {
+		x, y, z := g.Coords(i)
+		if g.Index(x, y, z) != i {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestLaplacianInteriorRow7pt(t *testing.T) {
+	g := NewCube(5, Star7)
+	a := g.Laplacian()
+	i := g.Index(2, 2, 2) // interior point
+	if a.At(i, i) != 6 {
+		t.Fatalf("interior diag = %g want 6", a.At(i, i))
+	}
+	if got := a.RowPtr[i+1] - a.RowPtr[i]; got != 7 {
+		t.Fatalf("interior row nnz = %d want 7", got)
+	}
+	if a.At(i, g.Index(3, 2, 2)) != -1 {
+		t.Fatal("off-diagonal should be -1")
+	}
+}
+
+func TestLaplacianCornerKeepsDiag(t *testing.T) {
+	g := NewCube(4, Star7)
+	a := g.Laplacian()
+	i := g.Index(0, 0, 0)
+	if a.At(i, i) != 6 {
+		t.Fatalf("corner diag = %g want 6 (Dirichlet)", a.At(i, i))
+	}
+	if got := a.RowPtr[i+1] - a.RowPtr[i]; got != 4 {
+		t.Fatalf("corner row nnz = %d want 4", got)
+	}
+}
+
+func TestLaplacian125InteriorRow(t *testing.T) {
+	g := NewCube(7, Box125)
+	a := g.Laplacian()
+	i := g.Index(3, 3, 3)
+	if got := a.RowPtr[i+1] - a.RowPtr[i]; got != 125 {
+		t.Fatalf("interior row nnz = %d want 125", got)
+	}
+	if a.At(i, i) != 124 {
+		t.Fatalf("diag = %g want 124", a.At(i, i))
+	}
+}
+
+func TestLaplacianSymmetricSPD(t *testing.T) {
+	for _, s := range []Stencil{Star7, Box27, Box125} {
+		g := NewCube(5, s)
+		a := g.Laplacian()
+		if !a.IsSymmetric(0) {
+			t.Fatalf("%v Laplacian not symmetric", s)
+		}
+		// Strict diagonal dominance at the boundary plus weak dominance and
+		// irreducibility in the interior imply SPD; check x'Ax > 0 for a few
+		// vectors as a smoke test.
+		x := make([]float64, a.Rows)
+		y := make([]float64, a.Rows)
+		for trial := 0; trial < 3; trial++ {
+			for i := range x {
+				x[i] = math.Sin(float64(i*(trial+1)) + 0.3)
+			}
+			a.MulVec(y, x)
+			var quad float64
+			for i := range x {
+				quad += x[i] * y[i]
+			}
+			if quad <= 0 {
+				t.Fatalf("%v: x'Ax = %g not positive", s, quad)
+			}
+		}
+	}
+}
+
+func TestLaplacian2D(t *testing.T) {
+	g := NewSquare(4, Star5)
+	a := g.Laplacian()
+	if a.Rows != 16 {
+		t.Fatalf("rows = %d", a.Rows)
+	}
+	i := g.Index(1, 1, 0)
+	if a.At(i, i) != 4 {
+		t.Fatalf("diag = %g want 4", a.At(i, i))
+	}
+	g9 := NewSquare(5, Box9)
+	a9 := g9.Laplacian()
+	j := g9.Index(2, 2, 0)
+	if got := a9.RowPtr[j+1] - a9.RowPtr[j]; got != 9 {
+		t.Fatalf("9-pt interior nnz = %d", got)
+	}
+}
+
+func TestNewCubePanicsOn2D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCube(3, Star5)
+}
+
+func TestNewSquarePanicsOn3D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSquare(3, Star7)
+}
+
+func TestCoarsen(t *testing.T) {
+	g := Grid{Nx: 9, Ny: 8, Nz: 1, Stencil: Star5}
+	c := g.Coarsen()
+	if c.Nx != 5 || c.Ny != 4 || c.Nz != 1 {
+		t.Fatalf("coarse = %d×%d×%d", c.Nx, c.Ny, c.Nz)
+	}
+	g3 := NewCube(9, Star7).Coarsen()
+	if g3.Nx != 5 || g3.Nz != 5 {
+		t.Fatalf("3D coarse = %+v", g3)
+	}
+}
+
+// Prolongation rows must sum to 1 (interpolation reproduces constants).
+func TestProlongationPartitionOfUnity(t *testing.T) {
+	for _, g := range []Grid{NewSquare(9, Star5), NewCube(9, Star7), {Nx: 8, Ny: 6, Nz: 1, Stencil: Star5}} {
+		p := g.Prolongation()
+		if p.Rows != g.N() || p.Cols != g.Coarsen().N() {
+			t.Fatalf("P shape %d×%d", p.Rows, p.Cols)
+		}
+		for i := 0; i < p.Rows; i++ {
+			var s float64
+			for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+				s += p.Val[k]
+			}
+			if math.Abs(s-1) > 1e-12 {
+				t.Fatalf("row %d sums to %g", i, s)
+			}
+		}
+	}
+}
+
+func TestOnesRHS(t *testing.T) {
+	g := NewSquare(4, Star5)
+	a := g.Laplacian()
+	b := OnesRHS(a)
+	// For our Dirichlet Laplacian, row sums equal the number of exterior
+	// neighbors: interior rows sum to 0, boundary rows are positive.
+	i := g.Index(1, 1, 0)
+	if b[i] != 0 {
+		t.Fatalf("interior b = %g want 0", b[i])
+	}
+	if b[g.Index(0, 0, 0)] != 2 {
+		t.Fatalf("corner b = %g want 2", b[g.Index(0, 0, 0)])
+	}
+}
+
+// Property: Galerkin coarse operator PᵀAP of a Laplacian stays symmetric with
+// nonnegative diagonal.
+func TestQuickGalerkinCoarse(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 4 + int(seed%5+5)%5 // 4..8
+		g := NewSquare(n, Star5)
+		a := g.Laplacian()
+		p := g.Prolongation()
+		ac := sparse.TripleProduct(p, a)
+		if !ac.IsSymmetric(1e-12) {
+			return false
+		}
+		for i := 0; i < ac.Rows; i++ {
+			if ac.At(i, i) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/precond"
+	"repro/internal/synth"
+)
+
+func TestCGCGMatchesPCG(t *testing.T) {
+	g := grid.NewSquare(12, grid.Star5)
+	a := g.Laplacian()
+	b := grid.OnesRHS(a)
+
+	run := func(solve Solver) *Result {
+		e := engine.NewSeq(a, precond.NewJacobi(a, 0, a.Rows))
+		opt := Defaults()
+		opt.RelTol = 1e-9
+		res, err := solve(e, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s did not converge", res.Method)
+		}
+		return res
+	}
+	pcg := run(PCG)
+	cgcg := run(CGCG)
+	// Same mathematics: iteration counts within one step, same solution.
+	if d := pcg.Iterations - cgcg.Iterations; d < -1 || d > 1 {
+		t.Fatalf("iteration counts differ: pcg %d vs cg-cg %d", pcg.Iterations, cgcg.Iterations)
+	}
+	for i := range pcg.X {
+		if math.Abs(pcg.X[i]-cgcg.X[i]) > 1e-7 {
+			t.Fatalf("solutions diverge at %d", i)
+		}
+	}
+}
+
+func TestCGCGSingleAllreducePerIteration(t *testing.T) {
+	g := grid.NewSquare(10, grid.Star5)
+	a := g.Laplacian()
+	b := grid.OnesRHS(a)
+	e := engine.NewSeq(a, precond.NewJacobi(a, 0, a.Rows))
+	opt := Defaults()
+	opt.RelTol = 0
+	opt.AbsTol = 0
+	opt.MaxIter = 20
+	res, err := CGCG(e, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup: 1 (monitor). Loop: exactly 1 blocking allreduce per iteration
+	// (plus the final check's reduction).
+	wantMax := res.Iterations + 2
+	if got := e.Counters().Allreduce; got > wantMax || got < res.Iterations {
+		t.Fatalf("allreduces = %d for %d iterations", got, res.Iterations)
+	}
+	if e.Counters().Iallreduce != 0 {
+		t.Fatal("cg-cg is not pipelined")
+	}
+}
+
+// Residual replacement must lift the attainable-accuracy floor of the
+// pipelined s-step method on an ill-conditioned problem.
+func TestResidualReplacementLiftsFloor(t *testing.T) {
+	a := synth.Ecology2(16).A
+	b := make([]float64, a.Rows)
+	ones := make([]float64, a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	a.MulVec(b, ones)
+
+	run := func(replaceEvery int) *Result {
+		e := engine.NewSeq(a, precond.NewJacobi(a, 0, a.Rows))
+		opt := Defaults()
+		opt.RelTol = 1e-8
+		opt.MaxIter = 50000
+		opt.ReplaceEvery = replaceEvery
+		res, err := PIPEPSCG(e, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(0)
+	rr := run(30)
+	if !rr.Converged {
+		t.Fatalf("with replacement the solve should reach 1e-8, got %g", rr.RelRes)
+	}
+	if plain.Converged {
+		t.Skip("instance too easy to exhibit the floor")
+	}
+	if rr.RelRes >= plain.RelRes {
+		t.Fatalf("replacement did not improve the floor: %g vs %g", rr.RelRes, plain.RelRes)
+	}
+}
+
+func TestResidualReplacementPIPECG(t *testing.T) {
+	g := grid.NewSquare(12, grid.Star5)
+	a := g.Laplacian()
+	b := grid.OnesRHS(a)
+	e := engine.NewSeq(a, precond.NewJacobi(a, 0, a.Rows))
+	opt := Defaults()
+	opt.RelTol = 1e-10
+	opt.ReplaceEvery = 10
+	res, err := PIPECG(e, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("PIPECG+RR failed: %g", res.RelRes)
+	}
+	// Replacement costs extra SPMVs: 2 per replacement.
+	spmvPlain := res.Iterations + 2 // 1 setup + 1 w0 + 1/iter
+	if e.Counters().SpMV <= spmvPlain {
+		t.Fatal("replacement SPMVs not visible in counters")
+	}
+}
+
+func TestSStepRestartOnBreakdownMakesProgress(t *testing.T) {
+	// Tiny system: Krylov exhaustion forces breakdowns; restarts must
+	// still deliver the solution.
+	a := grid.NewSquare(3, grid.Star5).Laplacian() // n=9, s=3 blocks
+	b := grid.OnesRHS(a)
+	e := engine.NewSeq(a, nil)
+	opt := Defaults()
+	opt.Norm = NormUnpreconditioned
+	opt.RelTol = 1e-9
+	opt.MaxIter = 600
+	res, err := SCGS(e, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged && res.RelRes > 1e-6 {
+		t.Fatalf("restarts should reach near machine floor, got %g (conv=%v broke=%v)",
+			res.RelRes, res.Converged, res.BrokeDown)
+	}
+}

@@ -1,0 +1,61 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/precond"
+)
+
+func TestGROPPCGMatchesPCG(t *testing.T) {
+	g := grid.NewSquare(12, grid.Star5)
+	a := g.Laplacian()
+	b := grid.OnesRHS(a)
+
+	run := func(solve Solver) *Result {
+		e := engine.NewSeq(a, precond.NewJacobi(a, 0, a.Rows))
+		opt := Defaults()
+		opt.RelTol = 1e-9
+		res, err := solve(e, b, opt)
+		if err != nil || !res.Converged {
+			t.Fatalf("%v %v", err, res)
+		}
+		return res
+	}
+	pcg := run(PCG)
+	gropp := run(GROPPCG)
+	if d := pcg.Iterations - gropp.Iterations; d < -1 || d > 1 {
+		t.Fatalf("iterations differ: pcg %d vs groppcg %d", pcg.Iterations, gropp.Iterations)
+	}
+	for i := range pcg.X {
+		if math.Abs(pcg.X[i]-gropp.X[i]) > 1e-7 {
+			t.Fatalf("solutions diverge at %d", i)
+		}
+	}
+}
+
+func TestGROPPCGReductionStructure(t *testing.T) {
+	g := grid.NewSquare(10, grid.Star5)
+	a := g.Laplacian()
+	b := grid.OnesRHS(a)
+	e := engine.NewSeq(a, precond.NewJacobi(a, 0, a.Rows))
+	opt := Defaults()
+	opt.RelTol = 0
+	opt.AbsTol = 0
+	opt.MaxIter = 20
+	res, err := GROPPCG(e, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Counters()
+	// Two non-blocking reductions per iteration, none blocking in the loop
+	// (setup: monitor + γ0).
+	if c.Iallreduce != 2*res.Iterations {
+		t.Fatalf("iallreduces = %d for %d iterations", c.Iallreduce, res.Iterations)
+	}
+	if c.Allreduce != 2 {
+		t.Fatalf("blocking allreduces = %d want 2 (setup only)", c.Allreduce)
+	}
+}

@@ -1,0 +1,173 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// TestMatrixPowersCommMatchesPlain runs PIPE-sCG with and without the matrix
+// powers kernel on the goroutine runtime: same convergence, same solution,
+// fewer halo exchanges.
+func TestMatrixPowersCommMatchesPlain(t *testing.T) {
+	g := grid.NewSquare(12, grid.Star5)
+	a := g.Laplacian()
+	b := grid.OnesRHS(a)
+	const p = 4
+	pt := partition.RowBlock(a.Rows, p)
+	bs := comm.Scatter(pt, b)
+
+	run := func(mpk bool) ([]float64, int, int) {
+		f := comm.NewFabric(p, 0)
+		engines := comm.NewEngines(f, a, pt, nil)
+		opt := Defaults()
+		opt.Norm = NormUnpreconditioned
+		opt.RelTol = 1e-8
+		opt.MatrixPowers = mpk
+		if mpk {
+			for _, e := range engines {
+				e.EnablePowersKernel(opt.S)
+			}
+		}
+		results := make([]*Result, p)
+		comm.Run(engines, func(r int, e *comm.Engine) {
+			res, err := PIPESCG(e, bs[r], opt)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			results[r] = res
+		})
+		xs := make([][]float64, p)
+		for r := range xs {
+			if results[r] == nil || !results[r].Converged {
+				t.Fatalf("mpk=%v rank %d failed", mpk, r)
+			}
+			xs[r] = results[r].X
+		}
+		c := engines[0].Counters()
+		return comm.Gather(pt, xs), c.HaloExchanges, results[0].Iterations
+	}
+
+	xPlain, haloPlain, itPlain := run(false)
+	xMPK, haloMPK, itMPK := run(true)
+	for i := range xPlain {
+		if math.Abs(xPlain[i]-xMPK[i]) > 1e-6 {
+			t.Fatalf("solutions differ at %d: %g vs %g", i, xPlain[i], xMPK[i])
+		}
+	}
+	if itPlain != itMPK {
+		t.Fatalf("iteration counts differ: %d vs %d", itPlain, itMPK)
+	}
+	if haloMPK >= haloPlain {
+		t.Fatalf("MPK should reduce halo exchanges: %d vs %d", haloMPK, haloPlain)
+	}
+}
+
+// TestMatrixPowersIgnoredWhenPreconditioned: the CA kernel must not engage
+// for preconditioned solves (the paper's §II).
+func TestMatrixPowersIgnoredWhenPreconditioned(t *testing.T) {
+	g := grid.NewSquare(8, grid.Star5)
+	a := g.Laplacian()
+	b := grid.OnesRHS(a)
+	e := engine.NewSeq(a, nil)
+	opt := Defaults()
+	opt.MatrixPowers = true
+	res, err := PIPEPSCG(e, b, opt) // preconditioned config, nil PC
+	if err != nil || !res.Converged {
+		t.Fatalf("solve failed: %v %v", err, res)
+	}
+}
+
+// TestMatrixPowersSimModel: the sim engine prices MPK as one deep exchange.
+// When subdomains are at least depth·radius wide (the regime MPK targets),
+// halo latency per iteration must drop; when subdomains are a single cell,
+// the deep shell's neighbor blow-up must make MPK more expensive — both
+// behaviours are genuine CA-SPMV physics.
+func TestMatrixPowersSimModel(t *testing.T) {
+	run := func(n, p int, mpk bool) sim.Breakdown {
+		g := grid.NewCube(n, grid.Star7)
+		a := g.Laplacian()
+		b := grid.OnesRHS(a)
+		e := sim.NewEngine(a, nil)
+		e.Decomp = &partition.GridSpec{Nx: n, Ny: n, Nz: n, Radius: 1}
+		opt := Defaults()
+		opt.Norm = NormUnpreconditioned
+		opt.RelTol = 1e-6
+		opt.MatrixPowers = mpk
+		res, err := PIPESCG(e, b, opt)
+		if err != nil || !res.Converged {
+			t.Fatalf("mpk=%v failed: %v", mpk, err)
+		}
+		return e.Evaluate(sim.CrayXC40(), p)
+	}
+	// Favourable regime: 3×3×3-cell subdomains, depth 3, neighbors stay 26.
+	plain := run(24, 512, false)
+	withMPK := run(24, 512, true)
+	if withMPK.Halo >= plain.Halo {
+		t.Fatalf("MPK should cut modeled halo latency: %g vs %g", withMPK.Halo, plain.Halo)
+	}
+	// Hostile regime: single-cell subdomains — the deep shell talks to
+	// hundreds of ranks and MPK loses.
+	plain1 := run(12, 1728, false)
+	mpk1 := run(12, 1728, true)
+	if mpk1.Halo <= plain1.Halo {
+		t.Fatalf("single-cell subdomains should penalize MPK: %g vs %g", mpk1.Halo, plain1.Halo)
+	}
+}
+
+// TestPowersPlanCorrectness checks the deep-halo plan directly: the kernel
+// must equal repeated global SpMV.
+func TestPowersPlanCorrectness(t *testing.T) {
+	g := grid.NewSquare(9, grid.Star5)
+	a := g.Laplacian()
+	n := a.Rows
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = math.Sin(float64(i)*0.7) + 0.2
+	}
+	const depth = 3
+	want := make([][]float64, depth)
+	cur := src
+	for j := 0; j < depth; j++ {
+		want[j] = make([]float64, n)
+		a.MulVec(want[j], cur)
+		cur = want[j]
+	}
+
+	for _, p := range []int{2, 3, 5} {
+		pt := partition.RowBlock(n, p)
+		f := comm.NewFabric(p, 0)
+		engines := comm.NewEngines(f, a, pt, nil)
+		for _, e := range engines {
+			e.EnablePowersKernel(depth)
+		}
+		srcs := comm.Scatter(pt, src)
+		outs := make([][][]float64, p)
+		comm.Run(engines, func(r int, e *comm.Engine) {
+			dst := make([][]float64, depth)
+			for j := range dst {
+				dst[j] = make([]float64, e.NLocal())
+			}
+			e.SpMVPowers(dst, srcs[r])
+			outs[r] = dst
+		})
+		for j := 0; j < depth; j++ {
+			parts := make([][]float64, p)
+			for r := range parts {
+				parts[r] = outs[r][j]
+			}
+			got := comm.Gather(pt, parts)
+			for i := range got {
+				if math.Abs(got[i]-want[j][i]) > 1e-10 {
+					t.Fatalf("p=%d power %d row %d: %g want %g", p, j+1, i, got[i], want[j][i])
+				}
+			}
+		}
+	}
+}

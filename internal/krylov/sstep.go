@@ -1,0 +1,476 @@
+package krylov
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/scalarwork"
+	"repro/internal/vec"
+)
+
+// sstepConfig selects one member of the s-step CG family. All five paper
+// algorithms (2-7) are instances of the same iteration skeleton:
+//
+//	            classical(r=b-Ax)   recurrence residual     pipelined
+//	SCG   (A2)        yes                  -                    -
+//	PSCG  (A3)        yes                  -                    -
+//	SCGS  (A4)         -                  yes                   -
+//	PIPESCG (A5)       -                  yes                  yes
+//	PIPEPSCG(A6/7)     -                  yes                  yes
+type sstepConfig struct {
+	name      string
+	pipelined bool // non-blocking allreduce overlapped with the power kernels
+	classical bool // recompute r = b - A·x each outer iteration (the extra SPMV)
+	precond   bool
+	// extraBytesPerOuter models method-specific overhead streams (used by
+	// the PIPECG3 stand-in; see its doc comment).
+	extraBytesPerOuter float64
+}
+
+// sstepState owns the vectors of one s-step solve.
+type sstepState struct {
+	e    engine.Engine
+	s, n int
+	cfg  sstepConfig
+
+	x []float64
+	// powU[j] = (M⁻¹A)^j u and powR[j] = (AM⁻¹)^j r = M·powU[j]; for the
+	// unpreconditioned methods powR aliases powU (M = I).
+	powU, powR [][]float64
+	// Direction blocks and their operator images: AQmU[k] = (M⁻¹A)^{k+1}·Qu
+	// in u-space, AQmR[k] = M·AQmU[k] in r-space. Blocking variants carry
+	// only k=0; the pipelined variants carry k=0..s (the paper's AQm/AQ2m
+	// "matrix of matrices").
+	qU, qR, pU, pR vec.Multi
+	aqU, aqR       []vec.Multi // current direction images
+	apU, apR       []vec.Multi // previous direction images
+
+	pay scalarwork.Payload
+	buf []float64
+	sw  *scalarwork.State
+
+	// mpk, when non-nil, computes Krylov power ranges with the engine's
+	// matrix powers kernel (Options.MatrixPowers on an unpreconditioned
+	// method).
+	mpk engine.PowersKernel
+
+	// sigma scales the monomial Krylov basis: powU[j] holds (M⁻¹A/σ)^j·u,
+	// keeping the Gram matrices' dynamic range bounded so higher s values
+	// stay numerically viable. σ is a setup-time estimate of λmax(M⁻¹A),
+	// identical on every rank (computed through engine reductions).
+	sigma float64
+}
+
+func newSStepState(e engine.Engine, opt Options, cfg sstepConfig) *sstepState {
+	s, n := opt.S, e.NLocal()
+	st := &sstepState{e: e, s: s, n: n, cfg: cfg, sigma: 1}
+	st.x = zerosLike(n, opt.X0)
+
+	nPow := s + 1
+	nBlocks := 1
+	if cfg.pipelined {
+		nPow = 2*s + 1
+		nBlocks = s + 1
+	}
+	alloc := func() [][]float64 {
+		v := make([][]float64, nPow)
+		for j := range v {
+			v[j] = make([]float64, n)
+		}
+		return v
+	}
+	st.powU = alloc()
+	st.powR = st.powU
+	st.qU = vec.NewMulti(n, s)
+	st.pU = vec.NewMulti(n, s)
+	st.qR, st.pR = st.qU, st.pU
+	st.aqU = make([]vec.Multi, nBlocks)
+	st.apU = make([]vec.Multi, nBlocks)
+	for k := range st.aqU {
+		st.aqU[k] = vec.NewMulti(n, s)
+		st.apU[k] = vec.NewMulti(n, s)
+	}
+	st.aqR, st.apR = st.aqU, st.apU
+	if cfg.precond {
+		st.powR = alloc()
+		st.qR = vec.NewMulti(n, s)
+		st.pR = vec.NewMulti(n, s)
+		st.aqR = make([]vec.Multi, nBlocks)
+		st.apR = make([]vec.Multi, nBlocks)
+		for k := range st.aqR {
+			st.aqR[k] = vec.NewMulti(n, s)
+			st.apR[k] = vec.NewMulti(n, s)
+		}
+	}
+
+	st.pay = scalarwork.Payload{S: s, Extras: 2}
+	st.buf = make([]float64, st.pay.Len())
+	st.sw = scalarwork.NewState(s)
+	return st
+}
+
+// computePowers fills powR[j] = A·powU[j-1]/σ (SPMV) and, when
+// preconditioned, powU[j] = M⁻¹·powR[j] (PC) for j in [lo, hi].
+func (st *sstepState) computePowers(lo, hi int) {
+	if st.mpk != nil && hi > lo {
+		// Matrix powers kernel: the whole contiguous range in one deep
+		// exchange, then undo the basis scaling per level.
+		dst := make([][]float64, hi-lo+1)
+		for j := lo; j <= hi; j++ {
+			dst[j-lo] = st.powR[j]
+		}
+		st.mpk.SpMVPowers(dst, st.powU[lo-1])
+		if st.sigma != 1 {
+			scale := 1.0
+			for j := lo; j <= hi; j++ {
+				scale /= st.sigma
+				vec.Scale(st.powR[j], scale)
+				st.e.Charge(float64(st.n), 16*float64(st.n))
+			}
+		}
+		return
+	}
+	for j := lo; j <= hi; j++ {
+		st.e.SpMV(st.powR[j], st.powU[j-1])
+		if st.sigma != 1 {
+			vec.Scale(st.powR[j], 1/st.sigma)
+			st.e.Charge(float64(st.n), 16*float64(st.n))
+		}
+		if st.cfg.precond {
+			st.e.ApplyPC(st.powU[j], st.powR[j])
+		}
+	}
+}
+
+// estimateSigma runs a few power iterations of M⁻¹A through the engine's
+// kernels and reductions, so every rank derives the same basis scale.
+func (st *sstepState) estimateSigma(b []float64) {
+	e, n := st.e, st.n
+	v := make([]float64, n)
+	t := make([]float64, n)
+	w := make([]float64, n)
+	if st.s <= 3 {
+		// Short blocks: the monomial Gram matrices stay well conditioned in
+		// double precision without rescaling (validated for s ≤ 3 across
+		// the test problems), so the setup kernels are not worth spending —
+		// they would dominate short solves with expensive preconditioners.
+		return
+	}
+	copy(v, b)
+	lambda := 1.0
+	for it := 0; it < 3; it++ {
+		e.SpMV(t, v)
+		if st.cfg.precond {
+			e.ApplyPC(w, t)
+		} else {
+			copy(w, t)
+		}
+		buf := []float64{vec.Dot(v, w), vec.Dot(v, v), vec.Dot(w, w)}
+		chargeDots(e, n, 3)
+		e.AllreduceSum(buf)
+		if buf[1] == 0 || buf[2] == 0 || math.IsNaN(buf[2]) {
+			break
+		}
+		lambda = math.Abs(buf[0]) / buf[1]
+		scale := 1 / math.Sqrt(buf[2])
+		for i := range v {
+			v[i] = w[i] * scale
+		}
+		chargeAxpys(e, n, 1)
+	}
+	// A modest overestimate is harmless (it only shrinks the basis).
+	st.sigma = 1.25 * lambda
+	if st.sigma <= 0 || math.IsNaN(st.sigma) || math.IsInf(st.sigma, 0) {
+		st.sigma = 1
+	}
+}
+
+// packDots computes the fused reduction payload from the current powers and
+// direction blocks: moments, cross-Gram, Pᵀr, and the two norm terms.
+func (st *sstepState) packDots() {
+	s, n := st.s, st.n
+	mu := st.pay.Mu(st.buf)
+	for m := 0; m < 2*s; m++ {
+		a := m / 2
+		mu[m] = vec.Dot(st.powU[a], st.powR[m-a])
+	}
+	c := st.pay.C(st.buf)
+	for l := 0; l < s; l++ {
+		for j := 0; j < s; j++ {
+			c[l*s+j] = vec.Dot(st.aqR[0][l], st.powU[j])
+		}
+	}
+	gp := st.pay.GP(st.buf)
+	for l := 0; l < s; l++ {
+		gp[l] = vec.Dot(st.qU[l], st.powR[0])
+	}
+	ex := st.pay.Extra(st.buf)
+	ex[0] = vec.Dot(st.powU[0], st.powU[0])
+	ex[1] = vec.Dot(st.powR[0], st.powR[0])
+	chargeDots(st.e, n, 2*s+s*s+s+2)
+}
+
+// norm2 selects the squared residual norm from the reduced payload.
+func (st *sstepState) norm2(mode NormMode) float64 {
+	ex := st.pay.Extra(st.buf)
+	switch mode {
+	case NormUnpreconditioned:
+		return ex[1]
+	case NormNatural:
+		return st.pay.Mu(st.buf)[0]
+	default:
+		return ex[0]
+	}
+}
+
+// buildDirections forms Q = K + P·B and AQm[k] = (M⁻¹A)^{k+1}K + APm[k]·B
+// with the fused init+LC kernel (one pass per column).
+func (st *sstepState) buildDirections(b []float64) {
+	s := st.s
+	vec.InitAddScaledBlock(st.qU, st.powU[:s], st.pU, b)
+	if st.cfg.precond {
+		vec.InitAddScaledBlock(st.qR, st.powR[:s], st.pR, b)
+	}
+	for k := range st.aqU {
+		vec.InitAddScaledBlock(st.aqU[k], st.powU[k+1:k+1+s], st.apU[k], b)
+		if st.cfg.precond {
+			vec.InitAddScaledBlock(st.aqR[k], st.powR[k+1:k+1+s], st.apR[k], b)
+		}
+	}
+	spaces := 1
+	if st.cfg.precond {
+		spaces = 2
+	}
+	// Each fused block costs one copy sweep plus s² axpys sharing the
+	// destination traffic; charge the axpys and one read of the base.
+	blocks := spaces * (1 + len(st.aqU))
+	st.e.Charge(2*float64(st.n*blocks*s*s), float64(st.n*blocks)*(8*float64(s)+16*float64(s*s)))
+}
+
+// swapBlocks rotates current direction blocks into the "previous" slots —
+// the paper's even/odd P/Q alternation.
+func (st *sstepState) swapBlocks() {
+	st.qU, st.pU = st.pU, st.qU
+	st.aqU, st.apU = st.apU, st.aqU
+	if st.cfg.precond {
+		st.qR, st.pR = st.pR, st.qR
+		st.aqR, st.apR = st.apR, st.aqR
+	} else {
+		st.qR, st.pR = st.qU, st.pU
+		st.aqR, st.apR = st.aqU, st.apU
+	}
+}
+
+// solveSStep is the shared skeleton of the s-step family.
+func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Result, error) {
+	if opt.S < 1 {
+		return nil, errors.New("krylov: s-step methods need S ≥ 1")
+	}
+	s := opt.S
+	st := newSStepState(e, opt, cfg)
+	if opt.MatrixPowers && !cfg.precond {
+		if pk, ok := e.(engine.PowersKernel); ok {
+			st.mpk = pk
+		}
+	}
+	mon := newMonitor(e, b, opt)
+	res := &Result{Method: cfg.name, X: st.x}
+	st.estimateSigma(b)
+
+	// Bootstrap: r0 = b - A·x0, u0 = M⁻¹r0, powers 1..s; dots; first
+	// reduction. The pipelined variants overlap powers s+1..2s with it.
+	// The same sequence re-seeds the solve after a basis breakdown.
+	bootstrap := func() engine.Request {
+		e.SpMV(st.powR[0], st.x)
+		vec.Sub(st.powR[0], b, st.powR[0])
+		chargeAxpys(e, st.n, 1)
+		if cfg.precond {
+			e.ApplyPC(st.powU[0], st.powR[0])
+		}
+		st.computePowers(1, s)
+		st.packDots()
+		if cfg.pipelined {
+			req := e.IallreduceSum(st.buf)
+			st.computePowers(s+1, 2*s)
+			return req
+		}
+		e.AllreduceSum(st.buf)
+		return nil
+	}
+	req := bootstrap()
+
+	// restart re-seeds the Krylov basis from the current iterate after a
+	// singular Gram matrix (loss of block independence). Progress since
+	// the previous restart gates retries, so a hard accuracy floor still
+	// terminates.
+	restarts := 0
+	lastRestartRel := math.Inf(1)
+
+	// Best-iterate safeguard: s-step recurrences can diverge past their
+	// attainable accuracy on ill-conditioned systems (§V of the paper);
+	// when the run stops without converging, hand back the best iterate.
+	bestX := make([]float64, st.n)
+	bestRel := math.Inf(1)
+
+	alpha := make([]float64, s)
+	for res.Iterations < opt.MaxIter {
+		if cfg.pipelined {
+			req.Wait()
+		}
+		stop, conv := mon.check(math.Sqrt(math.Abs(st.norm2(opt.Norm))), res.Iterations)
+		if rel := mon.relres(); rel < bestRel {
+			bestRel = rel
+			copy(bestX, st.x)
+		}
+		if stop {
+			res.Converged = conv
+			res.Stagnated = mon.stagnat
+			res.Diverged = mon.diverged
+			break
+		}
+
+		coeffs, err := st.sw.Step(st.pay, st.buf)
+		if err != nil {
+			if errors.Is(err, scalarwork.ErrBreakdown) {
+				rel := mon.relres()
+				if restarts < 8 && rel < 0.99*lastRestartRel {
+					// Still making progress: rebuild the basis from the
+					// current iterate and continue.
+					restarts++
+					lastRestartRel = rel
+					st.sw.Reset()
+					st.pU.Zero()
+					st.pR.Zero()
+					for k := range st.apU {
+						st.apU[k].Zero()
+						st.apR[k].Zero()
+					}
+					req = bootstrap()
+					continue
+				}
+				res.BrokeDown = true
+				break
+			}
+			return res, err
+		}
+		// The payload's moment and cross-Gram entries carry a uniform 1/σ
+		// relative to the scaled-basis Grams (each operator application
+		// contributes one 1/σ), so the solved step is σ·α. Dividing once
+		// here restores the true basis coefficients; the residual-power
+		// recurrence then uses σ·α_true = coeffs.Alpha directly.
+		copy(alpha, coeffs.Alpha)
+		xAlpha := make([]float64, s)
+		for l := range xAlpha {
+			xAlpha[l] = alpha[l] / st.sigma
+		}
+
+		st.buildDirections(coeffs.B)
+
+		// x += Q·(α/σ).
+		vec.AccumulateColumns(st.x, st.qU, xAlpha)
+		chargeAxpys(e, st.n, s)
+
+		// Advance the residual powers. Periodic residual replacement
+		// forces the classical recompute path for this outer iteration.
+		replacePeriod := 0
+		if opt.ReplaceEvery > 0 {
+			replacePeriod = (opt.ReplaceEvery + s - 1) / s
+		}
+		replace := replacePeriod > 0 && res.Outer > 0 && res.Outer%replacePeriod == 0
+		if cfg.classical || replace {
+			// r = b - A·x (the extra SPMV of Alg. 2/3), u = M⁻¹r, then
+			// rebuild powers 1..s with SPMVs (+PCs when preconditioned).
+			tmp := st.powR[0]
+			e.SpMV(tmp, st.x)
+			vec.Sub(st.powR[0], b, tmp)
+			chargeAxpys(e, st.n, 1)
+			if cfg.precond {
+				e.ApplyPC(st.powU[0], st.powR[0])
+			}
+			st.computePowers(1, s)
+		} else {
+			// Recurrence residual update: pow[j] -= AQm[j]·(σ·α_true) for
+			// every maintained image block (j = 0 for Alg. 4; j = 0..s for
+			// the pipelined Alg. 5/6). σ·α_true is exactly the solved
+			// coeffs.Alpha (see above), so no extra scaling is needed.
+			for k := range st.aqU {
+				vec.SubtractColumns(st.powU[k], st.aqU[k], alpha)
+				if cfg.precond {
+					vec.SubtractColumns(st.powR[k], st.aqR[k], alpha)
+				}
+			}
+			spaces := 1
+			if cfg.precond {
+				spaces = 2
+			}
+			chargeAxpys(e, st.n, spaces*len(st.aqU)*s)
+			if !cfg.pipelined {
+				// Alg. 4: only r was advanced; powers 1..s need s SPMVs.
+				st.computePowers(1, s)
+			}
+		}
+
+		st.packDots()
+		if cfg.extraBytesPerOuter > 0 {
+			e.Charge(0, cfg.extraBytesPerOuter)
+		}
+		if cfg.pipelined {
+			req = e.IallreduceSum(st.buf)
+			// The s overlapped SPMVs (+ s PCs): powers s+1..2s of the new
+			// residual — needed only by the next iteration's recurrences.
+			st.computePowers(s+1, 2*s)
+		} else {
+			e.AllreduceSum(st.buf)
+		}
+
+		st.swapBlocks()
+		res.Iterations += s
+		res.Outer++
+	}
+
+	if !res.Converged && bestRel < math.Inf(1) && bestRel < mon.relres() {
+		copy(st.x, bestX)
+		res.RelRes = bestRel
+	} else {
+		res.RelRes = mon.relres()
+	}
+	res.History = mon.hist
+	e.Counters().Iterations = res.Iterations
+	return res, nil
+}
+
+// SCG is the classical s-step conjugate gradient method of Chronopoulos &
+// Gear (the paper's Algorithm 2): one blocking allreduce and s+1 SPMVs per
+// outer iteration (each outer iteration advances s CG steps).
+func SCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
+	return solveSStep(e, b, opt, sstepConfig{name: "scg", classical: true})
+}
+
+// PSCG is the preconditioned s-step CG (Algorithm 3): one blocking allreduce,
+// s+1 SPMVs and s+1 PCs per outer iteration.
+func PSCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
+	return solveSStep(e, b, opt, sstepConfig{name: "pscg", classical: true, precond: true})
+}
+
+// SCGS is sCG with s SPMVs (Algorithm 4) — the paper's first step: the
+// residual and the direction images advance by recurrence linear
+// combinations, removing the extra SPMV, but the allreduce still blocks.
+func SCGS(e engine.Engine, b []float64, opt Options) (*Result, error) {
+	return solveSStep(e, b, opt, sstepConfig{name: "scg-s"})
+}
+
+// PIPESCG is the pipelined s-step CG (Algorithm 5): one non-blocking
+// allreduce per outer iteration (= per s CG steps) overlapped with the s
+// SPMVs that build residual powers s+1..2s.
+func PIPESCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
+	return solveSStep(e, b, opt, sstepConfig{name: "pipe-scg", pipelined: true})
+}
+
+// PIPEPSCG is the pipelined preconditioned s-step CG (Algorithms 6+7) — the
+// paper's headline method: one non-blocking allreduce per s iterations
+// overlapped with s PCs and s SPMVs, working with preconditioned,
+// unpreconditioned or natural residual norms at no extra kernel cost.
+func PIPEPSCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
+	return solveSStep(e, b, opt, sstepConfig{name: "pipe-pscg", pipelined: true, precond: true})
+}

@@ -1,0 +1,121 @@
+package partition
+
+import "fmt"
+
+// GridSpec describes a structured grid for analytic 3D box decomposition —
+// the way PETSc's DMDA distributes stencil problems. The virtual-clock
+// simulator prefers this over 1D row blocks for grid problems, because a 1D
+// split of a 3D stencil would talk to hundreds of neighbors at high rank
+// counts, which no production solver does.
+type GridSpec struct {
+	Nx, Ny, Nz int
+	// Radius is the stencil radius (1 for 7/27-pt, 2 for the 125-pt box).
+	Radius int
+}
+
+// N returns the grid's unknown count.
+func (g GridSpec) N() int { return g.Nx * g.Ny * g.Nz }
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// factor3 splits p ranks into px×py×pz ≤ grid dims minimizing the subdomain
+// surface (communication volume). For 2D grids (Nz == 1) pz is forced to 1.
+func (g GridSpec) factor3(p int) (px, py, pz int) {
+	best := -1
+	bestSurf := 0
+	for cx := 1; cx <= p; cx++ {
+		if p%cx != 0 {
+			continue
+		}
+		for cy := 1; cy <= p/cx; cy++ {
+			if (p/cx)%cy != 0 {
+				continue
+			}
+			cz := p / cx / cy
+			if g.Nz == 1 && cz != 1 {
+				continue
+			}
+			sx, sy, sz := ceilDiv(g.Nx, cx), ceilDiv(g.Ny, cy), ceilDiv(g.Nz, cz)
+			if sx < 1 || sy < 1 || sz < 1 {
+				continue
+			}
+			surf := sx*sy + sy*sz + sx*sz
+			if best == -1 || surf < bestSurf {
+				best, bestSurf = 1, surf
+				px, py, pz = cx, cy, cz
+			}
+		}
+	}
+	if best == -1 {
+		// Degenerate (p larger than the grid in every factorization):
+		// fall back to a 1D split.
+		return p, 1, 1
+	}
+	return px, py, pz
+}
+
+// Stats returns the per-rank load and halo statistics of the box
+// decomposition of this grid over p ranks, given the matrix's total nonzero
+// count (assumed uniformly distributed over rows).
+func (g GridSpec) Stats(nnzTotal, p int) Stats {
+	if p < 1 {
+		panic(fmt.Sprintf("partition: bad rank count %d", p))
+	}
+	px, py, pz := g.factor3(p)
+	sx, sy, sz := ceilDiv(g.Nx, px), ceilDiv(g.Ny, py), ceilDiv(g.Nz, pz)
+	rows := sx * sy * sz
+	r := g.Radius
+
+	// Halo volume: the shell of width r around the subdomain, clipped to a
+	// single dimension when the decomposition doesn't cut it.
+	hx, hy, hz := 2*r, 2*r, 2*r
+	if px == 1 {
+		hx = 0
+	}
+	if py == 1 {
+		hy = 0
+	}
+	if pz == 1 {
+		hz = 0
+	}
+	halo := (sx+hx)*(sy+hy)*(sz+hz) - rows
+
+	// Neighbor count: ranks within ceil(r/s) subdomains in each cut
+	// dimension (26 for a radius-≤-subdomain box stencil in 3D).
+	nb := 1
+	if px > 1 {
+		nb *= 1 + 2*ceilDiv(r, sx)
+	}
+	if py > 1 {
+		nb *= 1 + 2*ceilDiv(r, sy)
+	}
+	if pz > 1 {
+		nb *= 1 + 2*ceilDiv(r, sz)
+	}
+	neighbors := nb - 1
+
+	nnz := ceilDiv(nnzTotal*rows, g.N())
+	return Stats{MaxRows: rows, MaxNNZ: nnz, MaxHaloCols: halo, MaxNeighbors: neighbors}
+}
+
+// PowersStats models the matrix powers kernel of depth k: one exchange of a
+// depth-k·radius ghost shell plus the redundant ghost-zone rows recomputed
+// at the intermediate steps. It returns the single-exchange Stats and the
+// total redundant row count across all steps.
+func (g GridSpec) PowersStats(nnzTotal, p, depth int) (Stats, int) {
+	deep := g
+	deep.Radius = g.Radius * depth
+	st := deep.Stats(nnzTotal, p)
+	// Redundant rows: at step j (1-based), the rank computes the shell of
+	// depth (depth-j)·radius beyond its subdomain.
+	base := g.Stats(nnzTotal, p)
+	redundant := 0
+	for j := 1; j < depth; j++ {
+		shell := g
+		shell.Radius = g.Radius * (depth - j)
+		redundant += shell.Stats(nnzTotal, p).MaxHaloCols
+	}
+	st.MaxRows = base.MaxRows
+	st.MaxNNZ = base.MaxNNZ
+	return st, redundant
+}

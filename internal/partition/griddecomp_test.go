@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridSpecFactor3Cube(t *testing.T) {
+	g := GridSpec{Nx: 100, Ny: 100, Nz: 100, Radius: 2}
+	px, py, pz := g.factor3(8)
+	if px*py*pz != 8 {
+		t.Fatalf("product %d", px*py*pz)
+	}
+	// Cubic factorization is optimal for a cube.
+	if px != 2 || py != 2 || pz != 2 {
+		t.Fatalf("expected 2×2×2, got %d×%d×%d", px, py, pz)
+	}
+}
+
+func TestGridSpec2DForcesPz1(t *testing.T) {
+	g := GridSpec{Nx: 100, Ny: 100, Nz: 1, Radius: 1}
+	px, py, pz := g.factor3(16)
+	if pz != 1 || px*py != 16 {
+		t.Fatalf("2D factorization %d×%d×%d", px, py, pz)
+	}
+}
+
+func TestGridSpecStatsCube(t *testing.T) {
+	g := GridSpec{Nx: 96, Ny: 96, Nz: 96, Radius: 2}
+	nnz := g.N() * 125
+	st := g.Stats(nnz, 64) // 4×4×4 → 24³ subdomains
+	if st.MaxRows != 24*24*24 {
+		t.Fatalf("rows %d", st.MaxRows)
+	}
+	wantHalo := 28*28*28 - 24*24*24
+	if st.MaxHaloCols != wantHalo {
+		t.Fatalf("halo %d want %d", st.MaxHaloCols, wantHalo)
+	}
+	if st.MaxNeighbors != 26 {
+		t.Fatalf("neighbors %d want 26", st.MaxNeighbors)
+	}
+	if st.MaxNNZ < nnz/64 || st.MaxNNZ > nnz/64+125 {
+		t.Fatalf("nnz %d", st.MaxNNZ)
+	}
+}
+
+func TestGridSpecStatsSingleRank(t *testing.T) {
+	g := GridSpec{Nx: 10, Ny: 10, Nz: 10, Radius: 2}
+	st := g.Stats(1000, 1)
+	if st.MaxHaloCols != 0 || st.MaxNeighbors != 0 || st.MaxRows != 1000 {
+		t.Fatalf("single rank stats %+v", st)
+	}
+}
+
+// The box decomposition must beat 1D row blocks on neighbor count at scale —
+// the reason the simulator prefers it.
+func TestGridDecompBeatsRowBlockNeighbors(t *testing.T) {
+	g := GridSpec{Nx: 40, Ny: 40, Nz: 40, Radius: 2}
+	st := g.Stats(g.N()*125, 1920)
+	if st.MaxNeighbors > 124 {
+		t.Fatalf("box decomposition neighbors %d too high", st.MaxNeighbors)
+	}
+}
+
+func TestGridSpecStatsPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GridSpec{Nx: 4, Ny: 4, Nz: 4, Radius: 1}.Stats(64, 0)
+}
+
+// Property: factor3 always returns a valid factorization and Stats fields
+// are non-negative with rows·p ≥ N.
+func TestQuickGridSpecValid(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)
+		nx := 4 + int(s%60)
+		ny := 4 + int((s>>8)%60)
+		nz := 1 + int((s>>16)%40)
+		p := 1 + int((s>>24)%512)
+		r := 1 + int((s>>32)%2)
+		g := GridSpec{Nx: nx, Ny: ny, Nz: nz, Radius: r}
+		px, py, pz := g.factor3(p)
+		if px*py*pz != p && !(px == p && py == 1 && pz == 1) {
+			return false
+		}
+		st := g.Stats(g.N()*7, p)
+		if st.MaxRows < 1 || st.MaxHaloCols < 0 || st.MaxNeighbors < 0 {
+			return false
+		}
+		return st.MaxRows*p >= g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

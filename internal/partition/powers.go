@@ -1,0 +1,107 @@
+package partition
+
+import "sort"
+
+// PowersPlan is one rank's plan for the matrix powers kernel (Hoemmen's
+// communication-avoiding SPMV, the paper's §II discussion of CA-CG): with a
+// single exchange of a depth-k ghost region, the rank computes
+// [A·v, A²·v, …, A^k·v] on its rows, recomputing ghost-zone rows redundantly
+// instead of exchanging after every application.
+type PowersPlan struct {
+	Depth int
+	// Ghost lists the off-rank source entries (global indices) required
+	// before step 1, sorted ascending — the single exchange's receive set.
+	Ghost []int
+	// GhostFrom groups Ghost by owner rank.
+	GhostFrom map[int][]int
+	// Send lists, per destination rank, the locally owned indices this
+	// rank must ship (mirror of the destinations' GhostFrom).
+	Send map[int][]int
+	// Extra[j] lists the off-rank rows whose value of A^{j+1}·v this rank
+	// computes redundantly (needed by later steps), sorted ascending.
+	// Extra[Depth-1] is always empty — the last step only needs local rows.
+	Extra [][]int
+}
+
+// RedundantRows returns the total number of redundantly computed rows across
+// all steps (the MPK's extra work).
+func (p *PowersPlan) RedundantRows() int {
+	total := 0
+	for _, rows := range p.Extra {
+		total += len(rows)
+	}
+	return total
+}
+
+// reachExpand returns, for a set of rows, the set of column indices their
+// matrix rows reference (including themselves).
+func reachExpand(rowPtr, col []int, rows map[int]struct{}) map[int]struct{} {
+	out := make(map[int]struct{}, len(rows)*2)
+	for i := range rows {
+		out[i] = struct{}{}
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			out[col[k]] = struct{}{}
+		}
+	}
+	return out
+}
+
+// BuildPowersPlansCSR computes the depth-k matrix powers plans for a CSR
+// matrix given by its rowPtr/col structure under partition pt.
+func BuildPowersPlansCSR(rowPtr, col []int, pt Partition, depth int) []PowersPlan {
+	if depth < 1 {
+		panic("partition: powers depth must be ≥ 1")
+	}
+	plans := make([]PowersPlan, pt.P)
+	for r := 0; r < pt.P; r++ {
+		lo, hi := pt.Lo(r), pt.Hi(r)
+		isLocal := func(i int) bool { return i >= lo && i < hi }
+
+		// reach[j] = rows whose A^{j}·v value this rank must hold.
+		// reach[depth] = local rows; expand backwards.
+		reach := make([]map[int]struct{}, depth+1)
+		reach[depth] = make(map[int]struct{}, hi-lo)
+		for i := lo; i < hi; i++ {
+			reach[depth][i] = struct{}{}
+		}
+		for j := depth; j >= 1; j-- {
+			reach[j-1] = reachExpand(rowPtr, col, reach[j])
+		}
+
+		plan := PowersPlan{Depth: depth, GhostFrom: map[int][]int{}, Send: map[int][]int{}}
+		// Ghost values of v (step 0).
+		for i := range reach[0] {
+			if !isLocal(i) {
+				plan.Ghost = append(plan.Ghost, i)
+			}
+		}
+		sort.Ints(plan.Ghost)
+		for _, g := range plan.Ghost {
+			owner := pt.Owner(g)
+			plan.GhostFrom[owner] = append(plan.GhostFrom[owner], g)
+		}
+		// Redundant rows per step: rows in reach[j] that are off-rank
+		// (step j computes A^{j}·v for j = 1..depth; redundant rows only
+		// matter for j < depth).
+		plan.Extra = make([][]int, depth)
+		for j := 1; j < depth; j++ {
+			var extra []int
+			for i := range reach[j] {
+				if !isLocal(i) {
+					extra = append(extra, i)
+				}
+			}
+			sort.Ints(extra)
+			plan.Extra[j-1] = extra
+		}
+		plan.Extra[depth-1] = nil
+		plans[r] = plan
+	}
+	// Mirror receive sets into send sets.
+	for r := range plans {
+		for owner, ghosts := range plans[r].GhostFrom {
+			plans[owner].Send[r] = append([]int(nil), ghosts...)
+		}
+	}
+	return plans
+}

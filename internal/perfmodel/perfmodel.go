@@ -1,0 +1,157 @@
+// Package perfmodel encodes Table I of the paper — the per-s-iterations cost
+// model of every PCG variant (allreduce count, overlap structure, FLOPS and
+// memory) — and builds on it the automatic s selector the paper lists as
+// future work ("devise a model which would give the optimum s value when the
+// linear system dimensions, the number of cores … and the desired accuracy
+// are given").
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Method identifies a PCG variant in the cost model.
+type Method string
+
+// The methods of Table I.
+const (
+	PCG        Method = "pcg"
+	PIPECG     Method = "pipecg"
+	PIPELCG    Method = "pipelcg"
+	PIPECG3    Method = "pipecg3"
+	PIPECGOATI Method = "pipecg-oati"
+	PsCG       Method = "pscg"
+	PIPEPsCG   Method = "pipe-pscg"
+)
+
+// AllMethods lists Table I's rows in the paper's order.
+var AllMethods = []Method{PCG, PIPECG, PIPELCG, PIPECG3, PIPECGOATI, PsCG, PIPEPsCG}
+
+// Row is one Table I entry for a given s.
+type Row struct {
+	Method     Method
+	Allreduces float64 // per s iterations
+	TimeExpr   string  // the paper's symbolic time expression
+	Flops      float64 // ×N, per s iterations (VMAs and dot products)
+	Memory     float64 // vectors kept resident (excluding x and b)
+}
+
+// TableI returns the paper's Table I evaluated at block size s.
+func TableI(s int) []Row {
+	fs := float64(s)
+	half := math.Ceil(fs / 2)
+	return []Row{
+		{PCG, 3 * fs, "s(3G+PC+SPMV)", 12 * fs, 4},
+		{PIPECG, fs, "s(max(G, PC+SPMV))", 22 * fs, 9},
+		{PIPELCG, fs, "max(G, s(PC+SPMV))", 6*fs*fs + 14*fs, 14},
+		{PIPECG3, half, "ceil(s/2)(max(G, 2(PC+SPMV)))", 90 * half, 25},
+		{PIPECGOATI, half, "ceil(s/2)(max(G, 2(PC+SPMV)))", 80 * half, 19},
+		{PsCG, 1, "G+(s+1)(PC+SPMV)", 2*fs*fs + 4*fs + 2, 2*fs + 2},
+		{PIPEPsCG, 1, "max(G, s(PC+SPMV))", 4*fs*fs*fs + 12*fs*fs + 2*fs + 5, 4*fs*fs + 12*fs + 5},
+	}
+}
+
+// Problem describes a linear system for analytic prediction.
+type Problem struct {
+	N       int     // unknowns
+	NNZ     int     // matrix nonzeros
+	PCFlops float64 // preconditioner flops per global application
+	PCBytes float64 // preconditioner bytes per global application
+	// ReduceWords is the allreduce payload per reduction (2s+s²+s+2 for
+	// the fused-Gram s-step payload; 3 for PIPECG; 1 for PCG's dots).
+	ReduceWords int
+}
+
+// kernelTimes returns the per-iteration blocking G, non-blocking Gnb, PC and
+// SPMV times at p ranks.
+func kernelTimes(m sim.Machine, pr Problem, p int) (g, gnb, pc, spmv float64) {
+	g = m.G(p, pr.ReduceWords)
+	gnb = m.Gnb(p, pr.ReduceWords)
+	share := 1.0 / float64(p)
+	pc = m.Roofline(pr.PCFlops*share, pr.PCBytes*share)
+	nnz := float64(pr.NNZ) * share
+	rows := float64(pr.N) * share
+	spmv = m.Roofline(2*nnz, 12*nnz+16*rows)
+	return
+}
+
+// vmaTime prices f×N flops of VMA work at p ranks (bandwidth bound: 12
+// bytes of traffic per flop, the axpy ratio).
+func vmaTime(m sim.Machine, pr Problem, p int, flopsPerN float64) float64 {
+	n := float64(pr.N) / float64(p)
+	return m.Roofline(flopsPerN*n, 12*flopsPerN*n)
+}
+
+// PredictPerSIterations returns the modeled time one method needs for s
+// PCG-equivalent iterations on machine m at p ranks — the analytic form of
+// Table I's Time column plus the FLOPS column priced as VMA traffic.
+func PredictPerSIterations(m sim.Machine, pr Problem, meth Method, s, p int) float64 {
+	g, gnb, pc, spmv := kernelTimes(m, pr, p)
+	fs := float64(s)
+	half := math.Ceil(fs / 2)
+	var rows []Row = TableI(s)
+	var flops float64
+	for _, r := range rows {
+		if r.Method == meth {
+			flops = r.Flops
+		}
+	}
+	core := 0.0
+	switch meth {
+	case PCG:
+		core = fs * (3*g + pc + spmv)
+	case PIPECG:
+		core = fs * math.Max(gnb, pc+spmv)
+	case PIPELCG:
+		core = math.Max(gnb, fs*(pc+spmv))
+	case PIPECG3, PIPECGOATI:
+		core = half * math.Max(gnb, 2*(pc+spmv))
+	case PsCG:
+		core = g + (fs+1)*(pc+spmv)
+	case PIPEPsCG:
+		core = math.Max(gnb, fs*(pc+spmv))
+	default:
+		panic(fmt.Sprintf("perfmodel: unknown method %q", meth))
+	}
+	return core + vmaTime(m, pr, p, flops)
+}
+
+// SStepPayloadWords returns the fused-Gram reduction payload size for block
+// size s (moments + cross-Gram + Pᵀr + two norm terms).
+func SStepPayloadWords(s int) int { return 2*s + s*s + s + 2 }
+
+// ChooseS returns the s ∈ [1, maxS] minimizing the predicted PIPE-PsCG time
+// per iteration for the given machine, problem and rank count — the paper's
+// future-work auto-tuner. It also returns the predicted per-iteration time.
+func ChooseS(m sim.Machine, pr Problem, p, maxS int) (int, float64) {
+	if maxS < 1 {
+		maxS = 8
+	}
+	bestS, bestT := 1, math.Inf(1)
+	for s := 1; s <= maxS; s++ {
+		prS := pr
+		prS.ReduceWords = SStepPayloadWords(s)
+		t := PredictPerSIterations(m, prS, PIPEPsCG, s, p) / float64(s)
+		if t < bestT {
+			bestS, bestT = s, t
+		}
+	}
+	return bestS, bestT
+}
+
+// CrossoverP returns the smallest rank count (scanning the given candidates)
+// at which method a becomes faster than method b for s iterations, or -1 if
+// it never does.
+func CrossoverP(m sim.Machine, pr Problem, a, b Method, s int, candidates []int) int {
+	for _, p := range candidates {
+		ta := PredictPerSIterations(m, pr, a, s, p)
+		tb := PredictPerSIterations(m, pr, b, s, p)
+		if ta < tb {
+			return p
+		}
+	}
+	return -1
+}

@@ -1,0 +1,437 @@
+package precond
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sparse"
+)
+
+// applySymmetryError measures |(M⁻¹u, v) - (u, M⁻¹v)| / scale over random
+// vectors — CG requires a symmetric preconditioner.
+func applySymmetryError(n int, apply func(dst, src []float64), seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	u := make([]float64, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u[i], v[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	mu := make([]float64, n)
+	mv := make([]float64, n)
+	apply(mu, u)
+	apply(mv, v)
+	var a, b, scale float64
+	for i := 0; i < n; i++ {
+		a += mu[i] * v[i]
+		b += u[i] * mv[i]
+		scale += math.Abs(mu[i] * v[i])
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return math.Abs(a-b) / scale
+}
+
+// richardsonReduction runs k steps of preconditioned Richardson iteration on
+// A·x = b and returns ‖r_k‖/‖r_0‖ — a crude but effective quality probe.
+func richardsonReduction(a *sparse.CSR, apply func(dst, src []float64), k int) float64 {
+	n := a.Rows
+	b := grid.OnesRHS(a)
+	x := make([]float64, n)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	ax := make([]float64, n)
+	copy(r, b)
+	norm0 := 0.0
+	for _, v := range r {
+		norm0 += v * v
+	}
+	for it := 0; it < k; it++ {
+		apply(z, r)
+		for i := range x {
+			x[i] += z[i]
+		}
+		a.MulVec(ax, x)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+	}
+	norm := 0.0
+	for _, v := range r {
+		norm += v * v
+	}
+	return math.Sqrt(norm / norm0)
+}
+
+func TestIdentity(t *testing.T) {
+	var id Identity
+	src := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	id.Apply(dst, src)
+	if dst[1] != 2 {
+		t.Fatal("identity broken")
+	}
+	if id.Name() != "none" {
+		t.Fatal("name")
+	}
+}
+
+func TestJacobi(t *testing.T) {
+	a := sparse.FromDense(3, 3, []float64{4, 0, 0, 0, 2, 0, 0, 0, 0})
+	j := NewJacobi(a, 0, 3)
+	dst := make([]float64, 3)
+	j.Apply(dst, []float64{8, 8, 8})
+	if dst[0] != 2 || dst[1] != 4 || dst[2] != 8 { // zero diag → unit scale
+		t.Fatalf("jacobi: %v", dst)
+	}
+	f, b, p2p, ar := j.WorkPerApply()
+	if f <= 0 || b <= 0 || p2p != 0 || ar != 0 {
+		t.Fatal("work model")
+	}
+}
+
+func TestJacobiLocalBlock(t *testing.T) {
+	a := sparse.FromDense(4, 4, []float64{1, 0, 0, 0, 0, 2, 0, 0, 0, 0, 4, 0, 0, 0, 0, 8})
+	j := NewJacobi(a, 2, 4)
+	dst := make([]float64, 2)
+	j.Apply(dst, []float64{8, 8})
+	if dst[0] != 2 || dst[1] != 1 {
+		t.Fatalf("local jacobi: %v", dst)
+	}
+}
+
+func TestSSORSymmetricAndEffective(t *testing.T) {
+	g := grid.NewSquare(12, grid.Star5)
+	a := g.Laplacian()
+	s := NewSSOR(a, 0, a.Rows, 1.0, 1)
+	if err := applySymmetryError(a.Rows, s.Apply, 1); err > 1e-10 {
+		t.Fatalf("SSOR not symmetric: %g", err)
+	}
+	red := richardsonReduction(a, s.Apply, 30)
+	if red >= 1 {
+		t.Fatalf("SSOR Richardson diverged: %g", red)
+	}
+	jac := NewJacobi(a, 0, a.Rows)
+	// SSOR should beat damped Jacobi as a smoother; compare against scaled Jacobi.
+	damped := func(dst, src []float64) {
+		jac.Apply(dst, src)
+		for i := range dst {
+			dst[i] *= 0.8
+		}
+	}
+	redJ := richardsonReduction(a, damped, 30)
+	if red >= redJ {
+		t.Fatalf("SSOR (%g) should converge faster than damped Jacobi (%g)", red, redJ)
+	}
+}
+
+func TestSSORMultiSweep(t *testing.T) {
+	g := grid.NewSquare(10, grid.Star5)
+	a := g.Laplacian()
+	s1 := NewSSOR(a, 0, a.Rows, 1.2, 1)
+	s2 := NewSSOR(a, 0, a.Rows, 1.2, 2)
+	if err := applySymmetryError(a.Rows, s2.Apply, 2); err > 1e-10 {
+		t.Fatalf("2-sweep SSOR not symmetric: %g", err)
+	}
+	if richardsonReduction(a, s2.Apply, 15) >= richardsonReduction(a, s1.Apply, 15) {
+		t.Fatal("2 sweeps should beat 1 sweep per application")
+	}
+}
+
+func TestSSORBadOmegaPanics(t *testing.T) {
+	a := grid.NewSquare(3, grid.Star5).Laplacian()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSSOR(a, 0, a.Rows, 2.5, 1)
+}
+
+func TestChebyshevSymmetricAndEffective(t *testing.T) {
+	g := grid.NewSquare(12, grid.Star5)
+	a := g.Laplacian()
+	c := NewChebyshev(a, 4, 30)
+	if err := applySymmetryError(a.Rows, c.Apply, 3); err > 1e-10 {
+		t.Fatalf("Chebyshev not symmetric: %g", err)
+	}
+	if red := richardsonReduction(a, c.Apply, 20); red >= 1 {
+		t.Fatalf("Chebyshev Richardson diverged: %g", red)
+	}
+	f, b, p2p, _ := c.WorkPerApply()
+	if f <= 0 || b <= 0 || p2p != 3 {
+		t.Fatalf("work model: %g %g %d", f, b, p2p)
+	}
+}
+
+func TestPowerIterationMaxEig(t *testing.T) {
+	a := sparse.FromDense(3, 3, []float64{1, 0, 0, 0, 2, 0, 0, 0, 5})
+	if l := PowerIterationMaxEig(a, 100); math.Abs(l-5) > 1e-6 {
+		t.Fatalf("λmax = %g want 5", l)
+	}
+	if PowerIterationMaxEig(&sparse.CSR{RowPtr: []int{0}}, 5) != 0 {
+		t.Fatal("empty matrix should give 0")
+	}
+}
+
+func TestBlockJacobi(t *testing.T) {
+	g := grid.NewSquare(10, grid.Star5)
+	a := g.Laplacian()
+	bj := NewBlockJacobi(a, 4)
+	if err := applySymmetryError(a.Rows, bj.Apply, 4); err > 1e-10 {
+		t.Fatalf("block-Jacobi not symmetric: %g", err)
+	}
+	if red := richardsonReduction(a, bj.Apply, 40); red >= 1 {
+		t.Fatalf("block-Jacobi diverged: %g", red)
+	}
+	if bj.Name() != "block-jacobi" {
+		t.Fatal("name")
+	}
+}
+
+func TestGMGSolvesPoissonFast(t *testing.T) {
+	g := grid.NewSquare(33, grid.Star5)
+	a := g.Laplacian()
+	m, err := NewGMG(g, a, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Levels() < 3 {
+		t.Fatalf("expected a real hierarchy, got %d levels", m.Levels())
+	}
+	if err := applySymmetryError(a.Rows, m.Apply, 5); err > 1e-8 {
+		t.Fatalf("V-cycle not symmetric: %g", err)
+	}
+	red := richardsonReduction(a, m.Apply, 10)
+	if red > 0.05 {
+		t.Fatalf("MG should crush the residual in 10 cycles, got %g", red)
+	}
+}
+
+func TestGMG3D(t *testing.T) {
+	g := grid.NewCube(9, grid.Star7)
+	a := g.Laplacian()
+	m, err := NewGMG(g, a, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red := richardsonReduction(a, m.Apply, 12); red > 0.2 {
+		t.Fatalf("3D MG reduction too weak: %g", red)
+	}
+}
+
+func TestGMGGridMismatch(t *testing.T) {
+	g := grid.NewSquare(4, grid.Star5)
+	a := grid.NewSquare(5, grid.Star5).Laplacian()
+	if _, err := NewGMG(g, a, 10); err == nil {
+		t.Fatal("expected error for mismatched grid")
+	}
+}
+
+func TestAMGSolvesPoisson(t *testing.T) {
+	g := grid.NewSquare(30, grid.Star5)
+	a := g.Laplacian()
+	m, err := NewAMG(a, AMGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Levels() < 2 {
+		t.Fatalf("AMG built no hierarchy: %d levels", m.Levels())
+	}
+	if err := applySymmetryError(a.Rows, m.Apply, 6); err > 1e-8 {
+		t.Fatalf("AMG V-cycle not symmetric: %g", err)
+	}
+	red := richardsonReduction(a, m.Apply, 12)
+	if red > 0.1 {
+		t.Fatalf("AMG reduction too weak: %g", red)
+	}
+	if m.Name() != "gamg" {
+		t.Fatal("name")
+	}
+}
+
+func TestAMGOnHeterogeneousProblem(t *testing.T) {
+	// Anisotropic-ish random conductance grid: AMG must still converge.
+	rng := rand.New(rand.NewSource(9))
+	n := 20
+	b := sparse.NewBuilder(n*n, n*n)
+	idx := func(x, y int) int { return y*n + x }
+	deg := make([]float64, n*n)
+	add := func(i, j int, w float64) {
+		b.Add(i, j, -w)
+		b.Add(j, i, -w)
+		deg[i] += w
+		deg[j] += w
+	}
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if x+1 < n {
+				add(idx(x, y), idx(x+1, y), math.Exp(2*rng.NormFloat64()))
+			}
+			if y+1 < n {
+				add(idx(x, y), idx(x, y+1), math.Exp(2*rng.NormFloat64()))
+			}
+		}
+	}
+	for i := 0; i < n*n; i++ {
+		b.Add(i, i, deg[i]+0.01)
+	}
+	a := b.Build()
+	m, err := NewAMG(a, AMGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red := richardsonReduction(a, m.Apply, 25); red >= 1 {
+		t.Fatalf("AMG diverged on heterogeneous problem: %g", red)
+	}
+}
+
+func TestAggregateCoversAllNodes(t *testing.T) {
+	a := grid.NewSquare(15, grid.Star5).Laplacian()
+	agg, nAgg := aggregate(a, 0.08)
+	if nAgg <= 0 || nAgg >= a.Rows {
+		t.Fatalf("bad aggregate count %d of %d", nAgg, a.Rows)
+	}
+	seen := make([]bool, nAgg)
+	for i, g := range agg {
+		if g < 0 || g >= nAgg {
+			t.Fatalf("node %d has invalid aggregate %d", i, g)
+		}
+		seen[g] = true
+	}
+	for g, ok := range seen {
+		if !ok {
+			t.Fatalf("aggregate %d empty", g)
+		}
+	}
+}
+
+func TestMGWorkModelPositive(t *testing.T) {
+	g := grid.NewSquare(17, grid.Star5)
+	a := g.Laplacian()
+	m, err := NewGMG(g, a, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, b, p2p, ar := m.WorkPerApply()
+	if f <= 0 || b <= 0 || p2p <= 0 || ar != 0 {
+		t.Fatalf("work: %g %g %d %d", f, b, p2p, ar)
+	}
+	// MG must cost more than Jacobi per application.
+	jf, _, _, _ := NewJacobi(a, 0, a.Rows).WorkPerApply()
+	if f <= jf {
+		t.Fatal("MG should cost more than Jacobi")
+	}
+}
+
+// SPD property: (r, M⁻¹r) > 0 for every preconditioner on a random vector.
+func TestAllPreconditionersPositiveDefinite(t *testing.T) {
+	g := grid.NewSquare(12, grid.Star5)
+	a := g.Laplacian()
+	mg, err := NewGMG(g, a, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amg, err := NewAMG(a, AMGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs := map[string]func(dst, src []float64){
+		"jacobi": NewJacobi(a, 0, a.Rows).Apply,
+		"ssor":   NewSSOR(a, 0, a.Rows, 1.0, 1).Apply,
+		"cheb":   NewChebyshev(a, 3, 30).Apply,
+		"bjac":   NewBlockJacobi(a, 3).Apply,
+		"mg":     mg.Apply,
+		"gamg":   amg.Apply,
+	}
+	rng := rand.New(rand.NewSource(17))
+	r := make([]float64, a.Rows)
+	z := make([]float64, a.Rows)
+	for name, apply := range pcs {
+		for trial := 0; trial < 3; trial++ {
+			for i := range r {
+				r[i] = rng.NormFloat64()
+			}
+			apply(z, r)
+			var q float64
+			for i := range r {
+				q += r[i] * z[i]
+			}
+			if q <= 0 {
+				t.Fatalf("%s: (r, M⁻¹r) = %g not positive", name, q)
+			}
+		}
+	}
+}
+
+func BenchmarkJacobiApply(b *testing.B) {
+	a := grid.NewSquare(64, grid.Star5).Laplacian()
+	j := NewJacobi(a, 0, a.Rows)
+	src := make([]float64, a.Rows)
+	dst := make([]float64, a.Rows)
+	for i := range src {
+		src[i] = float64(i % 13)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Apply(dst, src)
+	}
+}
+
+func BenchmarkSSORApply(b *testing.B) {
+	a := grid.NewSquare(64, grid.Star5).Laplacian()
+	s := NewSSOR(a, 0, a.Rows, 1.0, 1)
+	src := make([]float64, a.Rows)
+	dst := make([]float64, a.Rows)
+	for i := range src {
+		src[i] = float64(i % 13)
+	}
+	for i := 0; i < b.N; i++ {
+		s.Apply(dst, src)
+	}
+}
+
+func BenchmarkGMGVCycle(b *testing.B) {
+	g := grid.NewSquare(65, grid.Star5)
+	a := g.Laplacian()
+	m, err := NewGMG(g, a, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]float64, a.Rows)
+	dst := make([]float64, a.Rows)
+	for i := range src {
+		src[i] = float64(i % 13)
+	}
+	for i := 0; i < b.N; i++ {
+		m.Apply(dst, src)
+	}
+}
+
+func BenchmarkAMGSetup(b *testing.B) {
+	a := grid.NewSquare(48, grid.Star5).Laplacian()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAMG(a, AMGOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkICCSetupAndApply(b *testing.B) {
+	a := grid.NewSquare(48, grid.Star5).Laplacian()
+	ic, err := NewICC(a, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]float64, a.Rows)
+	dst := make([]float64, a.Rows)
+	for i := range src {
+		src[i] = float64(i % 11)
+	}
+	for i := 0; i < b.N; i++ {
+		ic.Apply(dst, src)
+	}
+}

@@ -1,0 +1,169 @@
+package scalarwork
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+func TestPayloadLayout(t *testing.T) {
+	p := Payload{S: 3, Extras: 2}
+	if p.Len() != 6+9+3+2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	buf := make([]float64, p.Len())
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	if p.Mu(buf)[5] != 5 {
+		t.Fatal("mu slice wrong")
+	}
+	if p.C(buf)[0] != 6 || p.C(buf)[8] != 14 {
+		t.Fatal("C slice wrong")
+	}
+	if p.GP(buf)[0] != 15 || p.GP(buf)[2] != 17 {
+		t.Fatal("gP slice wrong")
+	}
+	if p.Extra(buf)[0] != 18 || len(p.Extra(buf)) != 2 {
+		t.Fatal("extra slice wrong")
+	}
+}
+
+// s=1 first step must reproduce classical CG: α = (r,r)/(r,Ar).
+func TestStepFirstIterationS1(t *testing.T) {
+	st := NewState(1)
+	p := Payload{S: 1}
+	buf := []float64{4, 2, 0, 0} // μ0=4, μ1=2, C=0, gP=0
+	c, err := st.Step(p, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Alpha[0]-2) > 1e-12 {
+		t.Fatalf("alpha = %g want 2", c.Alpha[0])
+	}
+	if c.K != 1 {
+		t.Fatalf("K = %d want 1", c.K)
+	}
+	if c.B[0] != 0 {
+		t.Fatal("first-step B must be zero")
+	}
+	if st.WPrev == nil || st.WPrev.At(0, 0) != 2 {
+		t.Fatal("state not advanced")
+	}
+}
+
+// s=1 second step: B = -C/W_prev (classical Gram-form β).
+func TestStepSecondIterationS1(t *testing.T) {
+	st := NewState(1)
+	if _, err := st.Step(Payload{S: 1}, []float64{4, 2, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Now W_prev = 2. New μ0=1, μ1=3, C=(Ap, r_new)=0.5, gP=0.
+	c, err := st.Step(Payload{S: 1}, []float64{1, 3, 0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := -0.25 // -C/W_prev
+	if math.Abs(c.B[0]-wantB) > 1e-15 {
+		t.Fatalf("B = %g want %g", c.B[0], wantB)
+	}
+	// W = μ1 + C·B = 3 + 0.5·(-0.25) = 2.875; α = μ0/W.
+	if math.Abs(c.W.At(0, 0)-2.875) > 1e-15 {
+		t.Fatalf("W = %g", c.W.At(0, 0))
+	}
+	if math.Abs(c.Alpha[0]-1/2.875) > 1e-15 {
+		t.Fatalf("alpha = %g", c.Alpha[0])
+	}
+}
+
+func TestStepSingularWDeflates(t *testing.T) {
+	st := NewState(2)
+	p := Payload{S: 2}
+	// μ such that M = [[μ1,μ2],[μ2,μ3]] is singular: μ1=1, μ2=1, μ3=1 —
+	// the block lost independence; the step must deflate to K=1.
+	buf := []float64{1, 1, 1, 1, 0, 0, 0, 0, 0, 0}
+	c, err := st.Step(p, buf)
+	if err != nil {
+		t.Fatalf("deflation should rescue a singular W: %v", err)
+	}
+	if c.K != 1 {
+		t.Fatalf("K = %d want 1", c.K)
+	}
+	if c.Alpha[1] != 0 {
+		t.Fatal("deflated trailing alpha must be zero")
+	}
+}
+
+func TestStepSingularWPrevDropsConjugation(t *testing.T) {
+	st := NewState(1)
+	st.WPrev = dense.NewMatrix(1, 1) // zero matrix
+	c, err := st.Step(Payload{S: 1}, []float64{1, 1, 1, 0})
+	if err != nil {
+		t.Fatalf("singular W_prev should degrade to B=0: %v", err)
+	}
+	if c.B[0] != 0 {
+		t.Fatalf("B = %g want 0", c.B[0])
+	}
+}
+
+func TestStepHardBreakdown(t *testing.T) {
+	st := NewState(1)
+	// (K0, A·K0) = μ1 ≤ 0: no positive definite leading block exists.
+	_, err := st.Step(Payload{S: 1}, []float64{1, -1, 0, 0})
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("want ErrBreakdown, got %v", err)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	st := NewState(2)
+	if _, err := st.Step(Payload{S: 3}, make([]float64, 50)); err == nil {
+		t.Fatal("want s mismatch error")
+	}
+	if _, err := st.Step(Payload{S: 2}, make([]float64, 3)); err == nil {
+		t.Fatal("want short buffer error")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	st := NewState(1)
+	if _, err := st.Step(Payload{S: 1}, []float64{4, 2, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	st.Reset()
+	if st.WPrev != nil {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNewStatePanicsOnBadS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewState(0)
+}
+
+// Symmetry of the produced Gram: W must equal Wᵀ exactly after symmetrize.
+func TestWSymmetric(t *testing.T) {
+	st := NewState(2)
+	buf1 := []float64{5, 2, 1.5, 1.2, 0, 0, 0, 0, 0, 0}
+	if _, err := st.Step(Payload{S: 2}, buf1); err != nil {
+		t.Fatal(err)
+	}
+	buf2 := []float64{3, 1.5, 1.1, 0.9, 0.2, -0.1, 0.05, 0.3, 0.01, -0.02}
+	c, err := st.Step(Payload{S: 2}, buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.W.At(i, j) != c.W.At(j, i) {
+				t.Fatal("W not symmetric")
+			}
+		}
+	}
+}

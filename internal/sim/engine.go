@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+type eventKind uint8
+
+const (
+	evSpMV eventKind = iota
+	evPC
+	evLocal
+	evAllreduce
+	evIPost
+	evIWait
+	evMPK // matrix powers kernel: `depth` SPMVs, one deep exchange
+)
+
+// event is one recorded kernel invocation. Sizes are global; Evaluate
+// derives per-rank costs from partition statistics.
+type event struct {
+	kind         eventKind
+	flops, bytes float64
+	words        int // reduce payload in float64 words
+	id           int // matches an evIPost to its evIWait
+	p2pRounds    int // PC-internal neighbor exchanges
+	allreduces   int // PC-internal reductions
+	depth        int // evMPK: number of chained products
+}
+
+// Engine runs real numerics on global vectors while recording cost events.
+// It implements engine.Engine with a single actual rank; the modeled rank
+// count is chosen later, at Evaluate time.
+type Engine struct {
+	A  *sparse.CSR
+	PC engine.Preconditioner
+
+	// Decomp, when set, tells the cost model to use an analytic 3D box
+	// decomposition (PETSc DMDA style) instead of 1D row blocks — the
+	// realistic distribution for structured stencil problems.
+	Decomp *partition.GridSpec
+
+	c      trace.Counters
+	events []event
+	nextID int
+
+	pcFlops, pcBytes float64
+	pcP2P, pcAllr    int
+}
+
+// NewEngine returns a recording engine for A with the given preconditioner
+// (nil means identity).
+func NewEngine(a *sparse.CSR, pc engine.Preconditioner) *Engine {
+	e := &Engine{A: a, PC: pc}
+	if pc != nil {
+		e.pcFlops, e.pcBytes, e.pcP2P, e.pcAllr = pc.WorkPerApply()
+	}
+	return e
+}
+
+// NLocal implements engine.Engine (the single real rank holds everything).
+func (e *Engine) NLocal() int { return e.A.Rows }
+
+// NGlobal implements engine.Engine.
+func (e *Engine) NGlobal() int { return e.A.Rows }
+
+// SpMV implements engine.Engine.
+func (e *Engine) SpMV(dst, src []float64) {
+	e.A.MulVec(dst, src)
+	nnz := float64(e.A.NNZ())
+	e.c.SpMV++
+	e.c.HaloExchanges++
+	e.c.SpMVFlops += 2 * nnz
+	// 12 bytes per stored nonzero (value + column index) plus streaming the
+	// source and destination vectors.
+	e.events = append(e.events, event{kind: evSpMV, flops: 2 * nnz,
+		bytes: 12*nnz + 16*float64(e.A.Rows)})
+}
+
+// ApplyPC implements engine.Engine.
+func (e *Engine) ApplyPC(dst, src []float64) {
+	e.c.PCApply++
+	if e.PC == nil {
+		copy(dst, src)
+		return
+	}
+	e.PC.Apply(dst, src)
+	e.c.PCFlops += e.pcFlops
+	e.events = append(e.events, event{kind: evPC, flops: e.pcFlops,
+		bytes: e.pcBytes, p2pRounds: e.pcP2P, allreduces: e.pcAllr})
+}
+
+// SpMVPowers implements engine.PowersKernel: the numerics are plain chained
+// products; the cost model prices one deep exchange plus the redundant
+// ghost-zone work (Evaluate, case evMPK).
+func (e *Engine) SpMVPowers(dst [][]float64, src []float64) {
+	cur := src
+	nnz := float64(e.A.NNZ())
+	for j := range dst {
+		e.A.MulVec(dst[j], cur)
+		cur = dst[j]
+		e.c.SpMV++
+		e.c.SpMVFlops += 2 * nnz
+	}
+	e.c.HaloExchanges++
+	e.events = append(e.events, event{kind: evMPK, depth: len(dst),
+		flops: 2 * nnz * float64(len(dst)),
+		bytes: (12*nnz + 16*float64(e.A.Rows)) * float64(len(dst))})
+}
+
+// AllreduceSum implements engine.Engine (data is already global).
+func (e *Engine) AllreduceSum(buf []float64) {
+	e.c.Allreduce++
+	e.c.ReduceWords += len(buf)
+	e.events = append(e.events, event{kind: evAllreduce, words: len(buf)})
+}
+
+type simRequest struct {
+	e  *Engine
+	id int
+}
+
+func (r simRequest) Wait() {
+	r.e.events = append(r.e.events, event{kind: evIWait, id: r.id})
+}
+
+// IallreduceSum implements engine.Engine.
+func (e *Engine) IallreduceSum(buf []float64) engine.Request {
+	e.c.Iallreduce++
+	e.c.ReduceWords += len(buf)
+	id := e.nextID
+	e.nextID++
+	e.events = append(e.events, event{kind: evIPost, words: len(buf), id: id})
+	return simRequest{e: e, id: id}
+}
+
+// Charge implements engine.Engine.
+func (e *Engine) Charge(flops, bytes float64) {
+	e.c.Flops += flops
+	e.events = append(e.events, event{kind: evLocal, flops: flops, bytes: bytes})
+}
+
+// Counters implements engine.Engine.
+func (e *Engine) Counters() *trace.Counters { return &e.c }
+
+// Events returns the number of recorded events (for tests).
+func (e *Engine) Events() int { return len(e.events) }
+
+// Breakdown is the modeled execution time of a recorded run on a machine
+// with p ranks, split by where the time goes.
+type Breakdown struct {
+	P     int
+	Total float64
+	// Compute covers SPMV + PC + local vector work.
+	Compute float64
+	// Halo is the neighbor-exchange time of SPMVs and PC-internal rounds.
+	Halo float64
+	// ReduceExposed is allreduce time the ranks idle for; ReduceHidden is
+	// allreduce time overlapped behind compute (zero for blocking methods).
+	ReduceExposed float64
+	ReduceHidden  float64
+}
+
+// Evaluate replays the recorded event stream against machine m with p
+// modeled ranks and returns the timing breakdown. The matrix is partitioned
+// by balanced nonzeros, and per-event costs use the most loaded rank
+// (BSP-style max).
+func (e *Engine) Evaluate(m Machine, p int) Breakdown {
+	b, _ := e.replay(m, p, false)
+	return b
+}
+
+// Timeline replays the run and returns the virtual clock value at the
+// completion of every global reduction (blocking allreduces and Iallreduce
+// waits, in order). Paired with a solver's residual history — one reduction
+// per convergence check — it yields the residual-versus-time trajectories of
+// the paper's Fig. 5.
+func (e *Engine) Timeline(m Machine, p int) []float64 {
+	_, tl := e.replay(m, p, true)
+	return tl
+}
+
+func (e *Engine) replay(m Machine, p int, wantTimeline bool) (Breakdown, []float64) {
+	if p < 1 {
+		panic("sim: p must be positive")
+	}
+	var st partition.Stats
+	if e.Decomp != nil {
+		st = e.Decomp.Stats(e.A.NNZ(), p)
+	} else {
+		pt := partition.RowBlockByNNZ(e.A, p)
+		st = partition.ComputeStats(e.A, pt)
+	}
+
+	n := float64(e.A.Rows)
+	nnzTotal := float64(e.A.NNZ())
+	rowShare := float64(st.MaxRows) / n
+	nnzShare := 1.0 / float64(p)
+	if nnzTotal > 0 {
+		nnzShare = float64(st.MaxNNZ) / nnzTotal
+	}
+	haloTime := float64(st.MaxNeighbors)*m.P2PAlpha + m.P2PBeta*8*float64(st.MaxHaloCols)
+
+	var b Breakdown
+	b.P = p
+	clock := 0.0
+	var timeline []float64
+	type pending struct {
+		post float64
+		g    float64
+	}
+	inflight := map[int]pending{}
+
+	// Matrix-powers-kernel cost terms, cached by depth.
+	type mpkCost struct {
+		haloTime float64
+		redFlops float64
+		redBytes float64
+	}
+	mpkCache := map[int]mpkCost{}
+	mpkFor := func(depth int) mpkCost {
+		if c, ok := mpkCache[depth]; ok {
+			return c
+		}
+		var deep partition.Stats
+		redundant := 0
+		if e.Decomp != nil {
+			deep, redundant = e.Decomp.PowersStats(e.A.NNZ(), p, depth)
+		} else {
+			deep = st
+			deep.MaxHaloCols *= depth
+			redundant = st.MaxHaloCols * depth * (depth - 1) / 2
+		}
+		avgRowNNZ := 0.0
+		if e.A.Rows > 0 {
+			avgRowNNZ = float64(e.A.NNZ()) / float64(e.A.Rows)
+		}
+		c := mpkCost{
+			haloTime: float64(deep.MaxNeighbors)*m.P2PAlpha + m.P2PBeta*8*float64(deep.MaxHaloCols),
+			redFlops: 2 * float64(redundant) * avgRowNNZ,
+			redBytes: float64(redundant) * (12*avgRowNNZ + 16),
+		}
+		mpkCache[depth] = c
+		return c
+	}
+
+	for _, ev := range e.events {
+		switch ev.kind {
+		case evSpMV:
+			t := m.Roofline(ev.flops*nnzShare, ev.bytes*nnzShare)
+			clock += t + haloTime
+			b.Compute += t
+			b.Halo += haloTime
+		case evMPK:
+			c := mpkFor(ev.depth)
+			t := m.Roofline(ev.flops*nnzShare+c.redFlops, ev.bytes*nnzShare+c.redBytes)
+			clock += t + c.haloTime
+			b.Compute += t
+			b.Halo += c.haloTime
+		case evPC:
+			t := m.Roofline(ev.flops*rowShare, ev.bytes*rowShare)
+			comm := float64(ev.p2pRounds) * haloTime
+			g := float64(ev.allreduces) * m.G(p, 1)
+			clock += t + comm + g
+			b.Compute += t
+			b.Halo += comm
+			b.ReduceExposed += g
+		case evLocal:
+			t := m.Roofline(ev.flops*rowShare, ev.bytes*rowShare)
+			clock += t
+			b.Compute += t
+		case evAllreduce:
+			g := m.G(p, ev.words)
+			clock += g
+			b.ReduceExposed += g
+			if wantTimeline {
+				timeline = append(timeline, clock)
+			}
+		case evIPost:
+			inflight[ev.id] = pending{post: clock, g: m.Gnb(p, ev.words)}
+		case evIWait:
+			pd, ok := inflight[ev.id]
+			if !ok {
+				panic("sim: Wait without matching Iallreduce post")
+			}
+			delete(inflight, ev.id)
+			elapsed := clock - pd.post
+			exposed := math.Max(0, pd.g-m.AsyncProgress*elapsed)
+			clock += exposed
+			b.ReduceExposed += exposed
+			b.ReduceHidden += pd.g - exposed
+			if wantTimeline {
+				timeline = append(timeline, clock)
+			}
+		}
+	}
+	b.Total = clock
+	return b, timeline
+}
+
+// Sweep evaluates the recorded run for every rank count in ps.
+func (e *Engine) Sweep(m Machine, ps []int) []Breakdown {
+	out := make([]Breakdown, len(ps))
+	for i, p := range ps {
+		out[i] = e.Evaluate(m, p)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestMachineG(t *testing.T) {
+	m := CrayXC40()
+	if m.G(1, 10) != 0 {
+		t.Fatal("single rank allreduce should be free")
+	}
+	if m.G(2, 1) <= 0 {
+		t.Fatal("two-rank allreduce must cost something")
+	}
+	// G grows with P like ceil(log2 P).
+	if m.G(1024, 4) <= m.G(32, 4) {
+		t.Fatal("G must grow with P")
+	}
+	want := 10 * (m.AllreduceAlpha + m.AllreduceBeta*8*4)
+	if math.Abs(m.G(1024, 4)-want) > 1e-15 {
+		t.Fatalf("G(1024,4) = %g want %g", m.G(1024, 4), want)
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	m := Machine{FlopRate: 10, MemBW: 100}
+	if m.Roofline(20, 10) != 2 { // flop bound
+		t.Fatal("flop-bound roofline")
+	}
+	if m.Roofline(1, 1000) != 10 { // bandwidth bound
+		t.Fatal("bw-bound roofline")
+	}
+}
+
+func TestNodes(t *testing.T) {
+	m := CrayXC40()
+	if m.Nodes(24) != 1 || m.Nodes(25) != 2 || m.Nodes(2880) != 120 {
+		t.Fatal("Nodes rounding broken")
+	}
+}
+
+func TestEngineRunsRealNumerics(t *testing.T) {
+	a := grid.NewSquare(6, grid.Star5).Laplacian()
+	e := NewEngine(a, nil)
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, a.Rows)
+	e.SpMV(y, x)
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatal("sim SpMV must compute the real product")
+		}
+	}
+	if e.Counters().SpMV != 1 {
+		t.Fatal("counter not bumped")
+	}
+}
+
+func TestBlockingVsOverlappedReduce(t *testing.T) {
+	a := grid.NewSquare(16, grid.Star5).Laplacian()
+	m := CrayXC40()
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+
+	// Blocking: allreduce then SpMV — times add. Use an equal-latency
+	// machine so the blocking/pipelined comparison isolates overlap.
+	m.IallreduceFactor = 1
+	eb := NewEngine(a, nil)
+	eb.AllreduceSum(make([]float64, 4))
+	eb.SpMV(y, x)
+	blocking := eb.Evaluate(m, 1024)
+
+	// Pipelined: post, SpMV, wait — SpMV hides the reduction.
+	ep := NewEngine(a, nil)
+	req := ep.IallreduceSum(make([]float64, 4))
+	ep.SpMV(y, x)
+	req.Wait()
+	pipelined := ep.Evaluate(m, 1024)
+
+	if pipelined.Total >= blocking.Total {
+		t.Fatalf("pipelined %.3g should beat blocking %.3g", pipelined.Total, blocking.Total)
+	}
+	if pipelined.ReduceHidden <= 0 {
+		t.Fatal("pipelined run should hide some reduce time")
+	}
+	if blocking.ReduceHidden != 0 {
+		t.Fatal("blocking run cannot hide reduce time")
+	}
+	// Identical compute portions.
+	if math.Abs(pipelined.Compute-blocking.Compute) > 1e-12 {
+		t.Fatal("compute time should match")
+	}
+}
+
+func TestAsyncProgressZeroDisablesOverlap(t *testing.T) {
+	a := grid.NewSquare(16, grid.Star5).Laplacian()
+	m := CrayXC40()
+	m.AsyncProgress = 0
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	e := NewEngine(a, nil)
+	req := e.IallreduceSum(make([]float64, 4))
+	e.SpMV(y, x)
+	req.Wait()
+	b := e.Evaluate(m, 1024)
+	if b.ReduceHidden != 0 {
+		t.Fatal("θ=0 must hide nothing")
+	}
+	if b.ReduceExposed != m.Gnb(1024, 4) {
+		t.Fatalf("exposed %g want full Gnb %g", b.ReduceExposed, m.Gnb(1024, 4))
+	}
+}
+
+func TestWaitWithoutPostPanics(t *testing.T) {
+	a := grid.NewSquare(4, grid.Star5).Laplacian()
+	e := NewEngine(a, nil)
+	e.events = append(e.events, event{kind: evIWait, id: 99})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Evaluate(CrayXC40(), 4)
+}
+
+func TestStrongScalingComputeShrinks(t *testing.T) {
+	a := grid.NewCube(12, grid.Star7).Laplacian()
+	e := NewEngine(a, nil)
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	for i := 0; i < 10; i++ {
+		e.SpMV(y, x)
+	}
+	m := CrayXC40()
+	b24 := e.Evaluate(m, 24)
+	b384 := e.Evaluate(m, 384)
+	if b384.Compute >= b24.Compute {
+		t.Fatal("compute time must shrink with more ranks")
+	}
+}
+
+func TestSweepMatchesEvaluate(t *testing.T) {
+	a := grid.NewSquare(8, grid.Star5).Laplacian()
+	e := NewEngine(a, nil)
+	e.AllreduceSum(make([]float64, 2))
+	m := CrayXC40()
+	ps := []int{24, 48, 96}
+	sw := e.Sweep(m, ps)
+	for i, p := range ps {
+		if sw[i] != e.Evaluate(m, p) {
+			t.Fatalf("sweep[%d] differs from Evaluate(%d)", i, p)
+		}
+	}
+}
+
+func TestChargeAffectsClock(t *testing.T) {
+	a := grid.NewSquare(8, grid.Star5).Laplacian()
+	e := NewEngine(a, nil)
+	e.Charge(1e9, 8e9)
+	b := e.Evaluate(CrayXC40(), 1)
+	if b.Compute <= 0 || b.Total != b.Compute {
+		t.Fatalf("charge not priced: %+v", b)
+	}
+}

@@ -1,0 +1,74 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tridiag builds a tridiagonal SPD matrix for micro-benchmarks.
+func tridiag(n int) *CSR {
+	b := NewBuilder(n, n)
+	b.Reserve(3 * n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+		}
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkSpMVTridiag(b *testing.B) {
+	n := 1 << 16
+	a := tridiag(n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	b.SetBytes(int64(a.NNZ() * 16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}
+
+func BenchmarkSpMVRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 12
+	a := randomCSR(rng, n, n, 0.01)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.SetBytes(int64(a.NNZ() * 16))
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	a := tridiag(1 << 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Transpose()
+	}
+}
+
+func BenchmarkGalerkinTripleProduct(b *testing.B) {
+	n := 1 << 10
+	a := tridiag(n)
+	pb := NewBuilder(n, n/2)
+	for i := 0; i < n; i++ {
+		pb.Add(i, i/2, 1)
+	}
+	p := pb.Build()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = TripleProduct(p, a)
+	}
+}

@@ -1,0 +1,318 @@
+// Package sparse implements compressed sparse row (CSR) matrices and the
+// kernels the solver stack needs: sparse matrix-vector products (the SPMV
+// kernel of the paper), transposition, Galerkin triple products for algebraic
+// multigrid, and diagonal/row utilities.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// Row i's nonzeros are Col[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]],
+// with column indices strictly increasing within a row.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	Col        []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Entry is a coordinate-format matrix element used while assembling.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// Builder accumulates coordinate entries and produces a CSR matrix.
+// Duplicate (row, col) entries are summed, matching finite element assembly.
+type Builder struct {
+	rows, cols int
+	entries    []Entry
+}
+
+// NewBuilder returns a builder for a rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates a value at (row, col).
+func (b *Builder) Add(row, col int, val float64) {
+	if row < 0 || row >= b.rows || col < 0 || col >= b.cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %d×%d", row, col, b.rows, b.cols))
+	}
+	b.entries = append(b.entries, Entry{row, col, val})
+}
+
+// Reserve grows the internal entry buffer to hold at least n entries.
+func (b *Builder) Reserve(n int) {
+	if cap(b.entries) < n {
+		grown := make([]Entry, len(b.entries), n)
+		copy(grown, b.entries)
+		b.entries = grown
+	}
+}
+
+// Build produces the CSR matrix, summing duplicates and dropping exact zeros
+// that result from cancellation only if dropZeros is true.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].Row != b.entries[j].Row {
+			return b.entries[i].Row < b.entries[j].Row
+		}
+		return b.entries[i].Col < b.entries[j].Col
+	})
+	a := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
+	for k := 0; k < len(b.entries); {
+		e := b.entries[k]
+		v := e.Val
+		k++
+		for k < len(b.entries) && b.entries[k].Row == e.Row && b.entries[k].Col == e.Col {
+			v += b.entries[k].Val
+			k++
+		}
+		a.Col = append(a.Col, e.Col)
+		a.Val = append(a.Val, v)
+		a.RowPtr[e.Row+1] = len(a.Col)
+	}
+	for i := 1; i <= b.rows; i++ {
+		if a.RowPtr[i] == 0 {
+			a.RowPtr[i] = a.RowPtr[i-1]
+		}
+	}
+	return a
+}
+
+// FromDense converts a dense row-major matrix to CSR, skipping zeros.
+func FromDense(rows, cols int, data []float64) *CSR {
+	if len(data) != rows*cols {
+		panic("sparse: FromDense size mismatch")
+	}
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := data[i*cols+j]; v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// At returns element (i, j), using binary search within the row.
+func (a *CSR) At(i, j int) float64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	k := sort.SearchInts(a.Col[lo:hi], j) + lo
+	if k < hi && a.Col[k] == j {
+		return a.Val[k]
+	}
+	return 0
+}
+
+// MulVec computes y = A·x. y and x must not alias.
+func (a *CSR) MulVec(y, x []float64) {
+	a.MulVecRange(y, x, 0, a.Rows)
+}
+
+// MulVecRange computes y[i] = (A·x)[i] for i in [lo, hi). It is the
+// rank-local SPMV: a rank owning rows [lo,hi) applies only those rows.
+// x must cover all referenced columns; y is indexed globally.
+func (a *CSR) MulVecRange(y, x []float64, lo, hi int) {
+	if len(x) < a.Cols {
+		panic(fmt.Sprintf("sparse: MulVec x too short: %d < %d", len(x), a.Cols))
+	}
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag returns the matrix diagonal as a slice (zeros where absent).
+func (a *CSR) Diag() []float64 {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	d := make([]float64, a.Rows)
+	for i := 0; i < n; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d
+}
+
+// Transpose returns Aᵀ as a new CSR matrix.
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{Rows: a.Cols, Cols: a.Rows,
+		RowPtr: make([]int, a.Cols+1),
+		Col:    make([]int, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	// Count entries per column of A.
+	for _, c := range a.Col {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < a.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, a.Cols)
+	copy(next, t.RowPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := a.Col[k]
+			p := next[c]
+			t.Col[p] = i
+			t.Val[p] = a.Val[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// Mul returns the sparse product A·B.
+func Mul(a, b *CSR) *CSR {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: Mul dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
+	// Gustavson's algorithm with a dense accumulator per row.
+	acc := make([]float64, b.Cols)
+	mark := make([]int, b.Cols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var cols []int
+	for i := 0; i < a.Rows; i++ {
+		cols = cols[:0]
+		for ka := a.RowPtr[i]; ka < a.RowPtr[i+1]; ka++ {
+			j := a.Col[ka]
+			av := a.Val[ka]
+			for kb := b.RowPtr[j]; kb < b.RowPtr[j+1]; kb++ {
+				cb := b.Col[kb]
+				if mark[cb] != i {
+					mark[cb] = i
+					acc[cb] = 0
+					cols = append(cols, cb)
+				}
+				acc[cb] += av * b.Val[kb]
+			}
+		}
+		sort.Ints(cols)
+		for _, cb := range cols {
+			c.Col = append(c.Col, cb)
+			c.Val = append(c.Val, acc[cb])
+		}
+		c.RowPtr[i+1] = len(c.Col)
+	}
+	return c
+}
+
+// TripleProduct returns the Galerkin product Pᵀ·A·P used to build coarse
+// operators in algebraic multigrid.
+func TripleProduct(p, a *CSR) *CSR {
+	return Mul(Mul(p.Transpose(), a), p)
+}
+
+// Scale multiplies all stored values by alpha in place.
+func (a *CSR) Scale(alpha float64) {
+	for i := range a.Val {
+		a.Val[i] *= alpha
+	}
+}
+
+// Add returns A + alpha·B for structurally arbitrary CSR matrices.
+func Add(a *CSR, alpha float64, b *CSR) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("sparse: Add dimension mismatch")
+	}
+	bb := NewBuilder(a.Rows, a.Cols)
+	bb.Reserve(a.NNZ() + b.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			bb.Add(i, a.Col[k], a.Val[k])
+		}
+		for k := b.RowPtr[i]; k < b.RowPtr[i+1]; k++ {
+			bb.Add(i, b.Col[k], alpha*b.Val[k])
+		}
+	}
+	return bb.Build()
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSR {
+	a := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1), Col: make([]int, n), Val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a.RowPtr[i+1] = i + 1
+		a.Col[i] = i
+		a.Val[i] = 1
+	}
+	return a
+}
+
+// IsSymmetric reports whether A equals Aᵀ to within tol, element-wise.
+func (a *CSR) IsSymmetric(tol float64) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	t := a.Transpose()
+	if len(t.Val) != len(a.Val) {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.Col[k] != t.Col[k] || math.Abs(a.Val[k]-t.Val[k]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GershgorinMax returns an upper bound on the spectrum from Gershgorin disks:
+// max_i (a_ii + Σ_{j≠i} |a_ij|).
+func (a *CSR) GershgorinMax() float64 {
+	bound := math.Inf(-1)
+	for i := 0; i < a.Rows; i++ {
+		var center, radius float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.Col[k] == i {
+				center = a.Val[k]
+			} else {
+				radius += math.Abs(a.Val[k])
+			}
+		}
+		if v := center + radius; v > bound {
+			bound = v
+		}
+	}
+	return bound
+}
+
+// RowNNZRange returns the minimum, maximum and mean nonzeros per row.
+func (a *CSR) RowNNZRange() (min, max int, mean float64) {
+	if a.Rows == 0 {
+		return 0, 0, 0
+	}
+	min = math.MaxInt
+	for i := 0; i < a.Rows; i++ {
+		n := a.RowPtr[i+1] - a.RowPtr[i]
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, max, float64(a.NNZ()) / float64(a.Rows)
+}

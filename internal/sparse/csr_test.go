@@ -1,0 +1,266 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func denseOf(a *CSR) []float64 {
+	d := make([]float64, a.Rows*a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d[i*a.Cols+a.Col[k]] += a.Val[k]
+		}
+	}
+	return d
+}
+
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 1, 1.5)
+	b.Add(0, 1, 2.5)
+	b.Add(1, 0, -1)
+	a := b.Build()
+	if a.NNZ() != 2 {
+		t.Fatalf("nnz = %d want 2", a.NNZ())
+	}
+	if a.At(0, 1) != 4 || a.At(1, 0) != -1 || a.At(0, 0) != 0 {
+		t.Fatalf("bad values: %v", a.Val)
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestBuildEmptyRows(t *testing.T) {
+	b := NewBuilder(4, 4)
+	b.Add(2, 1, 3)
+	a := b.Build()
+	if a.RowPtr[0] != 0 || a.RowPtr[1] != 0 || a.RowPtr[2] != 0 || a.RowPtr[3] != 1 || a.RowPtr[4] != 1 {
+		t.Fatalf("rowptr = %v", a.RowPtr)
+	}
+	y := make([]float64, 4)
+	a.MulVec(y, []float64{1, 1, 1, 1})
+	if y[2] != 3 || y[0] != 0 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	// [2 0 1; 0 3 0; 4 0 5]
+	a := FromDense(3, 3, []float64{2, 0, 1, 0, 3, 0, 4, 0, 5})
+	y := make([]float64, 3)
+	a.MulVec(y, []float64{1, 2, 3})
+	want := []float64{5, 6, 19}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v want %v", y, want)
+		}
+	}
+}
+
+func TestMulVecRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomCSR(rng, 10, 10, 0.4)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	full := make([]float64, 10)
+	a.MulVec(full, x)
+	part := make([]float64, 10)
+	a.MulVecRange(part, x, 3, 7)
+	for i := 3; i < 7; i++ {
+		if part[i] != full[i] {
+			t.Fatalf("row %d: %g want %g", i, part[i], full[i])
+		}
+	}
+	for _, i := range []int{0, 1, 2, 7, 8, 9} {
+		if part[i] != 0 {
+			t.Fatalf("row %d written outside range", i)
+		}
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomCSR(rng, 7, 5, 0.3)
+	tt := a.Transpose().Transpose()
+	da, dt := denseOf(a), denseOf(tt)
+	for i := range da {
+		if da[i] != dt[i] {
+			t.Fatal("transpose round trip mismatch")
+		}
+	}
+}
+
+func TestMulMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCSR(rng, 6, 8, 0.4)
+	b := randomCSR(rng, 8, 5, 0.4)
+	c := Mul(a, b)
+	da, db, dc := denseOf(a), denseOf(b), denseOf(c)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				s += da[i*8+k] * db[k*5+j]
+			}
+			if math.Abs(s-dc[i*5+j]) > 1e-12 {
+				t.Fatalf("(%d,%d): %g want %g", i, j, dc[i*5+j], s)
+			}
+		}
+	}
+}
+
+func TestTripleProductSymmetryAndSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// SPD-ish A: diagonally dominant symmetric.
+	n := 12
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+			b.Add(i+1, i, -1)
+		}
+	}
+	a := b.Build()
+	// Aggregation-style P: n×(n/3), each row one unit entry.
+	pb := NewBuilder(n, n/3)
+	for i := 0; i < n; i++ {
+		pb.Add(i, i/3, 1)
+	}
+	p := pb.Build()
+	_ = rng
+	ac := TripleProduct(p, a)
+	if ac.Rows != n/3 || ac.Cols != n/3 {
+		t.Fatalf("coarse size %d×%d", ac.Rows, ac.Cols)
+	}
+	if !ac.IsSymmetric(1e-14) {
+		t.Fatal("Galerkin product should be symmetric")
+	}
+}
+
+func TestAddScaleIdentity(t *testing.T) {
+	a := Identity(4)
+	b := Identity(4)
+	c := Add(a, 2, b) // 3·I
+	for i := 0; i < 4; i++ {
+		if c.At(i, i) != 3 {
+			t.Fatalf("diag %d = %g", i, c.At(i, i))
+		}
+	}
+	c.Scale(0.5)
+	if c.At(0, 0) != 1.5 {
+		t.Fatal("Scale broken")
+	}
+}
+
+func TestDiagAndGershgorin(t *testing.T) {
+	a := FromDense(2, 2, []float64{4, -1, -1, 3})
+	d := a.Diag()
+	if d[0] != 4 || d[1] != 3 {
+		t.Fatalf("diag = %v", d)
+	}
+	if g := a.GershgorinMax(); g != 5 {
+		t.Fatalf("gershgorin = %g want 5", g)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym := FromDense(2, 2, []float64{1, 2, 2, 5})
+	if !sym.IsSymmetric(0) {
+		t.Fatal("should be symmetric")
+	}
+	asym := FromDense(2, 2, []float64{1, 2, 3, 5})
+	if asym.IsSymmetric(1e-12) {
+		t.Fatal("should not be symmetric")
+	}
+	if FromDense(1, 2, []float64{1, 2}).IsSymmetric(0) {
+		t.Fatal("non-square can't be symmetric")
+	}
+}
+
+func TestRowNNZRange(t *testing.T) {
+	a := FromDense(3, 3, []float64{1, 1, 1, 0, 1, 0, 0, 0, 0})
+	min, max, mean := a.RowNNZRange()
+	if min != 0 || max != 3 || math.Abs(mean-4.0/3) > 1e-15 {
+		t.Fatalf("min=%d max=%d mean=%g", min, max, mean)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomCSR(rng, m, k, 0.5)
+		b := randomCSR(rng, k, n, 0.5)
+		lhs := denseOf(Mul(a, b).Transpose())
+		rhs := denseOf(Mul(b.Transpose(), a.Transpose()))
+		for i := range lhs {
+			if math.Abs(lhs[i]-rhs[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MulVec is linear: A(αx + y) = αAx + Ay.
+func TestQuickMulVecLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := randomCSR(rng, n, n, 0.4)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		alpha := rng.NormFloat64()
+		comb := make([]float64, n)
+		for i := range comb {
+			comb[i] = alpha*x[i] + y[i]
+		}
+		lhs := make([]float64, n)
+		a.MulVec(lhs, comb)
+		ax := make([]float64, n)
+		ay := make([]float64, n)
+		a.MulVec(ax, x)
+		a.MulVec(ay, y)
+		for i := range lhs {
+			if math.Abs(lhs[i]-(alpha*ax[i]+ay[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

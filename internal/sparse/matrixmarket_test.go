@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.0
+1 3 1.0
+2 2 3.0
+3 1 4.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || a.Cols != 3 || a.NNZ() != 4 {
+		t.Fatalf("shape %d×%d nnz %d", a.Rows, a.Cols, a.NNZ())
+	}
+	if a.At(0, 0) != 2 || a.At(0, 2) != 1 || a.At(1, 1) != 3 || a.At(2, 0) != 4 {
+		t.Fatal("bad values")
+	}
+}
+
+func TestReadMatrixMarketSymmetricExpands(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 5.0
+2 1 -1.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 || a.At(0, 0) != 5 {
+		t.Fatal("symmetric expansion failed")
+	}
+	if !a.IsSymmetric(0) {
+		t.Fatal("result should be symmetric")
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != 1 || a.At(1, 0) != 1 {
+		t.Fatal("pattern values should be 1")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",    // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n",    // bad row
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 y 1\n",    // bad col
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 z\n",    // bad val
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",        // short line
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",           // bad dims
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n", // bad size
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",      // missing value
+		"%%MatrixMarket something else\n",                                  // bad header
+	}
+	for i, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCSR(rng, 9, 7, 0.3)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := denseOf(a), denseOf(b)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package trace counts the kernel invocations and floating point work of a
+// solver run. The counters are the ground truth used to validate the
+// implementation against Table I of the paper (allreduces, SPMVs and PC
+// applications per s iterations, FLOPS in VMAs and dot products).
+package trace
+
+import "fmt"
+
+// Counters accumulates kernel-level statistics for one solve.
+type Counters struct {
+	SpMV          int // sparse matrix-vector products
+	PCApply       int // preconditioner applications
+	Allreduce     int // blocking allreduces
+	Iallreduce    int // non-blocking allreduces posted
+	ReduceWords   int // total float64 words reduced across all allreduces
+	HaloExchanges int // neighbor (ghost) exchange phases
+
+	// Flops counts local floating point operations in VMAs, recurrence
+	// linear combinations and local dot products (SpMV and PC flops are
+	// tracked separately via SpMVFlops/PCFlops).
+	Flops     float64
+	SpMVFlops float64
+	PCFlops   float64
+
+	Iterations int // solver-reported iterations (PCG-equivalent steps)
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// TotalAllreduces returns blocking plus non-blocking reductions.
+func (c *Counters) TotalAllreduces() int { return c.Allreduce + c.Iallreduce }
+
+// FlopsPerN returns the VMA/dot flops normalized by problem size and
+// PCG-equivalent iterations — directly comparable to the "FLOPS (×N)"
+// column of Table I divided by s.
+func (c *Counters) FlopsPerN(n int) float64 {
+	if n == 0 || c.Iterations == 0 {
+		return 0
+	}
+	return c.Flops / float64(n) / float64(c.Iterations)
+}
+
+// String summarizes the counters.
+func (c *Counters) String() string {
+	return fmt.Sprintf("iter=%d spmv=%d pc=%d allr=%d iallr=%d words=%d flops=%.3g",
+		c.Iterations, c.SpMV, c.PCApply, c.Allreduce, c.Iallreduce, c.ReduceWords, c.Flops)
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	var c Counters
+	c.SpMV = 3
+	c.Allreduce = 2
+	c.Iallreduce = 5
+	if c.TotalAllreduces() != 7 {
+		t.Fatal("TotalAllreduces")
+	}
+	c.Reset()
+	if c.SpMV != 0 || c.TotalAllreduces() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestFlopsPerN(t *testing.T) {
+	c := Counters{Flops: 1200, Iterations: 3}
+	if got := c.FlopsPerN(100); got != 4 {
+		t.Fatalf("FlopsPerN = %g want 4", got)
+	}
+	if (&Counters{}).FlopsPerN(100) != 0 {
+		t.Fatal("zero iterations must give 0")
+	}
+	if (&Counters{Iterations: 1}).FlopsPerN(0) != 0 {
+		t.Fatal("zero n must give 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Counters{SpMV: 2, PCApply: 1, Allreduce: 3, Iterations: 4}
+	s := c.String()
+	for _, want := range []string{"spmv=2", "pc=1", "allr=3", "iter=4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

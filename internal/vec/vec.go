@@ -1,0 +1,232 @@
+// Package vec implements the dense vector and block-vector (multivector)
+// kernels of the solver stack: dot products, vector-multiply-adds (the VMA
+// kernel of the paper), and the recurrence linear combinations (LCs) that the
+// s-step methods use to update direction blocks, Q = K + P·B and x += Q·a.
+//
+// Functions operate on plain []float64 slices over a caller-chosen index
+// range so the same kernels serve the sequential runtime (range = whole
+// vector) and the SPMD runtime (range = the rank's rows).
+package vec
+
+import "math"
+
+// Dot returns Σ x[i]·y[i].
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += a·x.
+func Axpy(y []float64, a float64, x []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Axpby computes y = a·x + b·y.
+func Axpby(y []float64, a float64, x []float64, b float64) {
+	for i, v := range x {
+		y[i] = a*v + b*y[i]
+	}
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("vec: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Scale multiplies x by a in place.
+func Scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Zero clears x.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Sub computes dst = x - y.
+func Sub(dst, x, y []float64) {
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// MaxAbs returns max_i |x[i]| (the infinity norm).
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Multi is a block of s vectors of equal length n (an N×s multivector).
+// Columns are stored as separate contiguous slices.
+type Multi [][]float64
+
+// NewMulti allocates an n×s multivector of zeros.
+func NewMulti(n, s int) Multi {
+	m := make(Multi, s)
+	backing := make([]float64, n*s)
+	for j := range m {
+		m[j] = backing[j*n : (j+1)*n : (j+1)*n]
+	}
+	return m
+}
+
+// S returns the number of columns.
+func (m Multi) S() int { return len(m) }
+
+// N returns the vector length (0 for an empty block).
+func (m Multi) N() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+// Clone deep-copies the block.
+func (m Multi) Clone() Multi {
+	c := NewMulti(m.N(), m.S())
+	for j := range m {
+		copy(c[j], m[j])
+	}
+	return c
+}
+
+// Zero clears all columns.
+func (m Multi) Zero() {
+	for j := range m {
+		Zero(m[j])
+	}
+}
+
+// CopyFrom copies src's columns into m.
+func (m Multi) CopyFrom(src Multi) {
+	if len(m) != len(src) {
+		panic("vec: Multi.CopyFrom column count mismatch")
+	}
+	for j := range m {
+		Copy(m[j], src[j])
+	}
+}
+
+// AddScaledBlock computes Q[j] += Σ_k P[k]·B[k*s+j] for all j — the
+// recurrence LC "Q = Q + P·B" with B an s×s row-major matrix. The flop count
+// is 2·n·s² (paper §V counts these LCs as series of VMAs).
+func AddScaledBlock(q, p Multi, b []float64) {
+	s := len(q)
+	if len(p) != s || len(b) != s*s {
+		panic("vec: AddScaledBlock shape mismatch")
+	}
+	for k := 0; k < s; k++ {
+		pk := p[k]
+		for j := 0; j < s; j++ {
+			beta := b[k*s+j]
+			if beta == 0 {
+				continue
+			}
+			Axpy(q[j], beta, pk)
+		}
+	}
+}
+
+// AccumulateColumns computes y += Q·a, i.e. y += Σ_j a[j]·Q[j]. Used for
+// x_{i+1} = x_i + Q·α. Flops: 2·n·s.
+func AccumulateColumns(y []float64, q Multi, a []float64) {
+	if len(a) != len(q) {
+		panic("vec: AccumulateColumns shape mismatch")
+	}
+	for j, col := range q {
+		if a[j] != 0 {
+			Axpy(y, a[j], col)
+		}
+	}
+}
+
+// SubtractColumns computes y -= Q·a, used for r_{i+1} = r_i - AQ·α.
+func SubtractColumns(y []float64, q Multi, a []float64) {
+	if len(a) != len(q) {
+		panic("vec: SubtractColumns shape mismatch")
+	}
+	for j, col := range q {
+		if a[j] != 0 {
+			Axpy(y, -a[j], col)
+		}
+	}
+}
+
+// InitAddScaledBlock computes dst[j] = base[j] + Σ_k p[k]·b[k*s+j] in one
+// pass per column — the fused form of "copy the Krylov block, then apply the
+// recurrence LC" that the s-step methods execute every outer iteration.
+// Fusing saves a full read+write sweep over the block compared to
+// CopyFrom + AddScaledBlock.
+func InitAddScaledBlock(dst Multi, base [][]float64, p Multi, b []float64) {
+	s := len(dst)
+	if len(base) < s || len(p) != s || len(b) != s*s {
+		panic("vec: InitAddScaledBlock shape mismatch")
+	}
+	for j := 0; j < s; j++ {
+		dj, bj := dst[j], base[j]
+		copy(dj, bj)
+		for k := 0; k < s; k++ {
+			beta := b[k*s+j]
+			if beta != 0 {
+				Axpy(dj, beta, p[k])
+			}
+		}
+	}
+}
+
+// PipelinedUpdate computes dst[j] = src[j] - m[j]·a for each column j, where
+// m[j] is itself a multivector (the paper's P[j] = Q[j] - AQm[j]·α update,
+// Alg. 5 lines 22-24).
+func PipelinedUpdate(dst, src Multi, m []Multi, a []float64) {
+	if len(dst) != len(src) || len(m) < len(dst) {
+		panic("vec: PipelinedUpdate shape mismatch")
+	}
+	for j := range dst {
+		Copy(dst[j], src[j])
+		SubtractColumns(dst[j], m[j], a)
+	}
+}
+
+// GramLocal computes the s×s local Gram block G[k*s+j] = p[k]·q[j] over the
+// slices' index range. Callers allreduce the result across ranks.
+func GramLocal(dst []float64, p, q Multi) {
+	s1, s2 := len(p), len(q)
+	if len(dst) != s1*s2 {
+		panic("vec: GramLocal shape mismatch")
+	}
+	for k := 0; k < s1; k++ {
+		for j := 0; j < s2; j++ {
+			dst[k*s2+j] = Dot(p[k], q[j])
+		}
+	}
+}
+
+// DotsAgainst computes dst[j] = x·q[j] for each column of q.
+func DotsAgainst(dst []float64, x []float64, q Multi) {
+	if len(dst) != len(q) {
+		panic("vec: DotsAgainst shape mismatch")
+	}
+	for j, col := range q {
+		dst[j] = Dot(x, col)
+	}
+}
