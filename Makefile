@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-kernels tier1
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-bearing packages: the worker pool and the
+# goroutine-rank communication runtime (which shares the pool across ranks).
+race:
+	$(GO) test -race ./internal/par/... ./internal/comm/...
+
+vet:
+	$(GO) vet ./...
+
+# tier1 is the gate every change must pass: build, vet, full tests, and the
+# race detector over the concurrent packages.
+tier1: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Kernel-layer scaling benches: SPMV, Gram/dot, and the solver-level run at
+# 1 worker versus all cores.
+bench-kernels:
+	$(GO) test -bench='SpMVParallel|GramParallel|DotParallel|RangeOverhead' ./internal/...
+	$(GO) test -bench=SolverParallelKernels .

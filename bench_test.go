@@ -11,6 +11,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/engine"
 	"repro/internal/krylov"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/perfmodel"
 	"repro/internal/precond"
@@ -260,6 +263,35 @@ func BenchmarkAblationChooseS(b *testing.B) {
 		sHi, _ := perfmodel.ChooseS(m, model, 3360, 8)
 		b.ReportMetric(float64(sLo), "s-at-1-node")
 		b.ReportMetric(float64(sHi), "s-at-140-nodes")
+	}
+}
+
+// BenchmarkSolverParallelKernels measures end-to-end PIPE-PsCG wall time
+// with the kernel layer at 1 worker versus all cores: a fixed 30-iteration
+// Jacobi-preconditioned solve on a 125-pt Poisson problem. Iteration counts
+// and residuals are bit-identical across pool sizes (the kernels are
+// deterministic), so the sub-benchmarks time exactly the same arithmetic.
+func BenchmarkSolverParallelKernels(b *testing.B) {
+	pr := bench.Poisson125(32) // 32.8k unknowns, ~4M nnz
+	pr.A.ChunkPlan()           // build the SPMV plan outside the timed region
+	defer par.SetWorkers(0)
+	for _, w := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			par.SetWorkers(w)
+			var iters int
+			for i := 0; i < b.N; i++ {
+				pc := precond.NewJacobi(pr.A, 0, pr.A.Rows)
+				e := engine.NewSeq(pr.A, pc)
+				opt := bench.DefaultOptions(pr)
+				opt.RelTol, opt.AbsTol, opt.MaxIter = 0, 0, 30
+				res, err := krylov.PIPEPSCG(e, pr.B, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iters")
+		})
 	}
 }
 

@@ -95,16 +95,12 @@ func (e *Engine) SpMV(dst, src []float64) {
 		}
 	}
 
+	// Local rows through the shared parallel kernel layer. All ranks of this
+	// process share one worker pool (see internal/par), so R ranks never
+	// fan out to R×W goroutines.
 	a := e.a
-	localNNZ := 0
-	for i := e.lo; i < e.hi; i++ {
-		var s float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * e.scratch[a.Col[k]]
-		}
-		dst[i-e.lo] = s
-	}
-	localNNZ = a.RowPtr[e.hi] - a.RowPtr[e.lo]
+	a.MulVecRangeInto(dst, e.scratch, e.lo, e.hi)
+	localNNZ := a.RowPtr[e.hi] - a.RowPtr[e.lo]
 	e.c.SpMV++
 	e.c.HaloExchanges++
 	e.c.SpMVFlops += 2 * float64(localNNZ)

@@ -49,24 +49,16 @@ func (e *Engine) SpMVPowers(dst [][]float64, src []float64) {
 	e.c.HaloExchanges++
 	next := e.powersScratch[1]
 	a := e.a
-	applyRow := func(i int) float64 {
-		var s float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * cur[a.Col[k]]
-		}
-		return s
-	}
 	for j := 0; j < depth; j++ {
-		// Local rows.
-		for i := e.lo; i < e.hi; i++ {
-			v := applyRow(i)
-			next[i] = v
-			dst[j][i-e.lo] = v
-		}
-		// Redundant ghost-zone rows needed by later steps.
+		// Local rows through the shared parallel kernel.
+		a.MulVecRange(next, cur, e.lo, e.hi)
+		copy(dst[j], next[e.lo:e.hi])
+		// Redundant ghost-zone rows needed by later steps. They go through
+		// the same row kernel so the recomputed values are bit-identical to
+		// what the owning rank produces.
 		if j < depth-1 {
 			for _, i := range plan.Extra[j] {
-				next[i] = applyRow(i)
+				a.MulVecRange(next, cur, i, i+1)
 				e.c.SpMVFlops += 2 * float64(a.RowPtr[i+1]-a.RowPtr[i])
 			}
 		}

@@ -102,7 +102,9 @@ func (e *Seq) NLocal() int { return e.A.Rows }
 // NGlobal implements Engine.
 func (e *Seq) NGlobal() int { return e.A.Rows }
 
-// SpMV implements Engine.
+// SpMV implements Engine. The product runs on the shared worker pool (see
+// internal/par); the counters record modeled work and are unaffected by how
+// many OS threads execute it.
 func (e *Seq) SpMV(dst, src []float64) {
 	e.A.MulVec(dst, src)
 	e.C.SpMV++

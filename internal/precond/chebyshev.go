@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/sparse"
+	"repro/internal/vec"
 )
 
 // PowerIterationMaxEig estimates the largest eigenvalue of the SPD matrix a
@@ -49,6 +50,7 @@ type Chebyshev struct {
 	degree       int
 	lmin, lmax   float64
 	buf1, buf2   []float64
+	r, p         []float64 // iteration scratch, reused across Apply calls
 	invDiag      []float64 // Jacobi-scaled variant for robustness
 	useDiagScale bool
 }
@@ -66,10 +68,10 @@ func NewChebyshev(a *sparse.CSR, degree int, ratio float64) *Chebyshev {
 	n := a.Rows
 	c := &Chebyshev{a: a, degree: degree,
 		buf1: make([]float64, n), buf2: make([]float64, n),
-		invDiag: make([]float64, n), useDiagScale: true,
+		r: make([]float64, n), p: make([]float64, n),
+		invDiag: a.Diag(), useDiagScale: true,
 	}
-	for i := 0; i < n; i++ {
-		d := a.At(i, i)
+	for i, d := range c.invDiag {
 		if d == 0 {
 			d = 1
 		}
@@ -98,9 +100,7 @@ func NewChebyshev(a *sparse.CSR, degree int, ratio float64) *Chebyshev {
 // scaledMulVec computes dst = D⁻¹A·src.
 func (c *Chebyshev) scaledMulVec(dst, src []float64) {
 	c.a.MulVec(dst, src)
-	for i := range dst {
-		dst[i] *= c.invDiag[i]
-	}
+	vec.MulInto(dst, dst, c.invDiag)
 }
 
 // Apply implements engine.Preconditioner: dst ≈ A⁻¹·src by k Chebyshev steps
@@ -112,18 +112,16 @@ func (c *Chebyshev) Apply(dst, src []float64) {
 
 	// Scaled right-hand side: D⁻¹·src.
 	b := c.buf1
-	for i := 0; i < n; i++ {
-		b[i] = src[i] * c.invDiag[i]
-	}
+	vec.MulInto(b, src[:n], c.invDiag)
 
-	// Chebyshev iteration (z_0 = 0): standard three-term form.
+	// Chebyshev iteration (z_0 = 0): standard three-term form. The
+	// elementwise recurrences run on the shared worker pool via vec.
 	z := dst
 	for i := range z[:n] {
 		z[i] = 0
 	}
-	r := make([]float64, n)
+	r, p := c.r, c.p
 	copy(r, b) // residual of the scaled system at z=0
-	p := make([]float64, n)
 	var alpha, beta float64
 	for k := 0; k < c.degree; k++ {
 		switch k {
@@ -133,24 +131,16 @@ func (c *Chebyshev) Apply(dst, src []float64) {
 		case 1:
 			beta = 0.5 * (delta * alpha) * (delta * alpha)
 			alpha = 1 / (theta - beta/alpha)
-			for i := 0; i < n; i++ {
-				p[i] = r[i] + beta*p[i]
-			}
+			vec.Axpby(p, 1, r, beta) // p = r + beta·p
 		default:
 			beta = (delta * alpha / 2) * (delta * alpha / 2)
 			alpha = 1 / (theta - beta/alpha)
-			for i := 0; i < n; i++ {
-				p[i] = r[i] + beta*p[i]
-			}
+			vec.Axpby(p, 1, r, beta)
 		}
-		for i := 0; i < n; i++ {
-			z[i] += alpha * p[i]
-		}
+		vec.Axpy(z[:n], alpha, p)
 		if k+1 < c.degree {
 			c.scaledMulVec(c.buf2, p)
-			for i := 0; i < n; i++ {
-				r[i] -= alpha * c.buf2[i]
-			}
+			vec.Axpy(r, -alpha, c.buf2)
 		}
 	}
 }

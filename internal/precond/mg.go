@@ -33,9 +33,8 @@ type MG struct {
 }
 
 func newLevel(a *sparse.CSR) *level {
-	l := &level{a: a, invDiag: make([]float64, a.Rows)}
-	for i := 0; i < a.Rows; i++ {
-		d := a.At(i, i)
+	l := &level{a: a, invDiag: a.Diag()}
+	for i, d := range l.invDiag {
 		if d == 0 {
 			d = 1
 		}

@@ -12,7 +12,9 @@ package precond
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/sparse"
+	"repro/internal/vec"
 )
 
 // Identity is the no-op preconditioner (unpreconditioned CG variants).
@@ -35,13 +37,12 @@ type Jacobi struct {
 // NewJacobi builds the Jacobi preconditioner for rows [lo, hi) of a. Rows
 // with a zero diagonal get a unit scale (keeps the operator well defined).
 func NewJacobi(a *sparse.CSR, lo, hi int) *Jacobi {
-	inv := make([]float64, hi-lo)
-	for i := lo; i < hi; i++ {
-		d := a.At(i, i)
+	inv := a.DiagRange(lo, hi)
+	for i, d := range inv {
 		if d == 0 {
-			inv[i-lo] = 1
+			inv[i] = 1
 		} else {
-			inv[i-lo] = 1 / d
+			inv[i] = 1 / d
 		}
 	}
 	return &Jacobi{invDiag: inv}
@@ -49,9 +50,7 @@ func NewJacobi(a *sparse.CSR, lo, hi int) *Jacobi {
 
 // Apply implements engine.Preconditioner.
 func (j *Jacobi) Apply(dst, src []float64) {
-	for i, v := range src {
-		dst[i] = v * j.invDiag[i]
-	}
+	vec.MulInto(dst[:len(src)], src, j.invDiag)
 }
 
 // Name implements engine.Preconditioner.
@@ -76,6 +75,10 @@ type SSOR struct {
 	omega  float64
 	diag   []float64
 	sweeps int
+
+	// Apply scratch, allocated once. A preconditioner instance is owned by a
+	// single rank, so reusing these across calls is race-free.
+	y, z, res []float64
 }
 
 // NewSSOR builds an SSOR preconditioner for rows [lo, hi) of a with
@@ -88,21 +91,26 @@ func NewSSOR(a *sparse.CSR, lo, hi int, omega float64, sweeps int) *SSOR {
 	if sweeps < 1 {
 		sweeps = 1
 	}
-	d := make([]float64, hi-lo)
-	for i := lo; i < hi; i++ {
-		d[i-lo] = a.At(i, i)
-		if d[i-lo] == 0 {
-			d[i-lo] = 1
+	d := a.DiagRange(lo, hi)
+	for i, v := range d {
+		if v == 0 {
+			d[i] = 1
 		}
 	}
-	return &SSOR{a: a, lo: lo, hi: hi, omega: omega, diag: d, sweeps: sweeps}
+	n := hi - lo
+	return &SSOR{a: a, lo: lo, hi: hi, omega: omega, diag: d, sweeps: sweeps,
+		y: make([]float64, n), z: make([]float64, n), res: make([]float64, n)}
 }
 
 // Apply implements engine.Preconditioner: dst = M⁻¹·src.
+//
+// The triangular sweeps carry a loop dependence and stay serial; the
+// residual recompute between sweeps is elementwise over rows and runs on the
+// shared worker pool.
 func (s *SSOR) Apply(dst, src []float64) {
 	a, lo, hi, w := s.a, s.lo, s.hi, s.omega
 	n := hi - lo
-	y := make([]float64, n)
+	y := s.y
 	for i := range dst[:n] {
 		dst[i] = 0
 	}
@@ -111,17 +119,20 @@ func (s *SSOR) Apply(dst, src []float64) {
 		if sweep > 0 {
 			// Additional sweeps refine: r = src - M_prev·..., we use simple
 			// re-application composition (still symmetric): dst += M⁻¹(src - A·dst)
-			res := make([]float64, n)
-			for i := lo; i < hi; i++ {
-				var ax float64
-				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-					c := a.Col[k]
-					if c >= lo && c < hi {
-						ax += a.Val[k] * dst[c-lo]
+			res := s.res
+			par.Default().Range(n, func(c0, c1 int) {
+				for ii := c0; ii < c1; ii++ {
+					i := lo + ii
+					var ax float64
+					for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+						c := a.Col[k]
+						if c >= lo && c < hi {
+							ax += a.Val[k] * dst[c-lo]
+						}
 					}
+					res[ii] = src[ii] - ax
 				}
-				res[i-lo] = src[i-lo] - ax
-			}
+			})
 			rhs = res
 		}
 		// Forward solve: (D/ω + L)·y = rhs.
@@ -140,7 +151,7 @@ func (s *SSOR) Apply(dst, src []float64) {
 			y[i] *= s.diag[i] * (2 - w) / w
 		}
 		// Backward solve: (D/ω + U)·z = y, accumulated into dst.
-		z := make([]float64, n)
+		z := s.z
 		for i := hi - 1; i >= lo; i-- {
 			sum := y[i-lo]
 			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -151,9 +162,7 @@ func (s *SSOR) Apply(dst, src []float64) {
 			}
 			z[i-lo] = sum * w / s.diag[i-lo]
 		}
-		for i := 0; i < n; i++ {
-			dst[i] += z[i]
-		}
+		vec.Axpy(dst[:n], 1, z)
 	}
 }
 

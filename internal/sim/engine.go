@@ -69,7 +69,10 @@ func (e *Engine) NLocal() int { return e.A.Rows }
 // NGlobal implements engine.Engine.
 func (e *Engine) NGlobal() int { return e.A.Rows }
 
-// SpMV implements engine.Engine.
+// SpMV implements engine.Engine. The real product runs on the shared worker
+// pool (internal/par); the recorded event carries the modeled cost, which is
+// a function of the matrix only — wall-clock parallelism never leaks into
+// the virtual clock.
 func (e *Engine) SpMV(dst, src []float64) {
 	e.A.MulVec(dst, src)
 	nnz := float64(e.A.NNZ())

@@ -8,17 +8,27 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+
+	"repro/internal/par"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
 //
 // Row i's nonzeros are Col[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]],
 // with column indices strictly increasing within a row.
+//
+// The structure (Rows, RowPtr, Col) must not be mutated after the first
+// MulVec/ChunkPlan call: the parallel SPMV caches an nnz-balanced chunk plan
+// on the matrix. Mutating Val (e.g. Scale) is fine.
 type CSR struct {
 	Rows, Cols int
 	RowPtr     []int
 	Col        []int
 	Val        []float64
+
+	planOnce sync.Once
+	plan     Chunks
 }
 
 // NNZ returns the number of stored nonzeros.
@@ -59,15 +69,27 @@ func (b *Builder) Reserve(n int) {
 	}
 }
 
-// Build produces the CSR matrix, summing duplicates and dropping exact zeros
-// that result from cancellation only if dropZeros is true.
+// entriesByRowCol sorts coordinate entries row-major. A concrete
+// sort.Interface: sort.Sort on it avoids the closure indirection and
+// reflection-based swapper of sort.Slice on large assemblies (see
+// BenchmarkBuilderBuild).
+type entriesByRowCol []Entry
+
+func (e entriesByRowCol) Len() int      { return len(e) }
+func (e entriesByRowCol) Swap(i, j int) { e[i], e[j] = e[j], e[i] }
+func (e entriesByRowCol) Less(i, j int) bool {
+	if e[i].Row != e[j].Row {
+		return e[i].Row < e[j].Row
+	}
+	return e[i].Col < e[j].Col
+}
+
+// Build produces the CSR matrix, summing duplicate (row, col) entries.
+// Entries that cancel to an exact zero are kept as stored (explicit) zeros —
+// the structure of the assembly is preserved, which keeps chunk plans,
+// partitions and symbolic products stable even when values cancel.
 func (b *Builder) Build() *CSR {
-	sort.Slice(b.entries, func(i, j int) bool {
-		if b.entries[i].Row != b.entries[j].Row {
-			return b.entries[i].Row < b.entries[j].Row
-		}
-		return b.entries[i].Col < b.entries[j].Col
-	})
+	sort.Sort(entriesByRowCol(b.entries))
 	a := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
 	for k := 0; k < len(b.entries); {
 		e := b.entries[k]
@@ -115,25 +137,153 @@ func (a *CSR) At(i, j int) float64 {
 	return 0
 }
 
+// Chunks is a parallel SPMV execution plan: chunk c covers rows
+// [Bounds[c], Bounds[c+1]), with chunk boundaries placed so every chunk
+// carries roughly equal work (nonzeros, with each row costing one extra unit
+// so empty-row-heavy matrices still split). The geometry is a pure function
+// of the matrix structure, never of the worker count.
+type Chunks struct {
+	Bounds []int
+}
+
+// rowWork is the cumulative work coordinate at row r relative to row lo:
+// nonzeros plus one unit per row.
+func (a *CSR) rowWork(lo, r int) int {
+	return a.RowPtr[r] - a.RowPtr[lo] + (r - lo)
+}
+
+// searchRow returns the first row r in [lo, hi] with rowWork(lo, r) >= w.
+func (a *CSR) searchRow(lo, hi, w int) int {
+	return lo + sort.Search(hi-lo, func(r int) bool {
+		return a.rowWork(lo, lo+r) >= w
+	})
+}
+
+// buildChunks places nnz-balanced chunk boundaries over rows [lo, hi).
+func (a *CSR) buildChunks(lo, hi int) Chunks {
+	total := a.rowWork(lo, hi)
+	nc := par.NumChunks(total)
+	if nc < 1 {
+		nc = 1
+	}
+	bounds := make([]int, nc+1)
+	bounds[0] = lo
+	for c := 1; c < nc; c++ {
+		bounds[c] = a.searchRow(lo, hi, c*total/nc)
+	}
+	bounds[nc] = hi
+	return Chunks{Bounds: bounds}
+}
+
+// ChunkPlan returns the matrix's cached full-range chunk plan, building it
+// on first use. Safe for concurrent callers (comm ranks share the matrix).
+func (a *CSR) ChunkPlan() *Chunks {
+	a.planOnce.Do(func() { a.plan = a.buildChunks(0, a.Rows) })
+	return &a.plan
+}
+
+// mulRows applies rows [r0, r1) of A to x, writing y[i-yoff] for row i. The
+// inner product over a row is 4-way unrolled; rows are never split across
+// chunks, so the per-row accumulation order — and hence the result bit
+// pattern — is independent of the worker count.
+func (a *CSR) mulRows(y, x []float64, r0, r1, yoff int) {
+	for i := r0; i < r1; i++ {
+		var s0, s1, s2, s3 float64
+		k := a.RowPtr[i]
+		end := a.RowPtr[i+1]
+		for ; k+4 <= end; k += 4 {
+			s0 += a.Val[k] * x[a.Col[k]]
+			s1 += a.Val[k+1] * x[a.Col[k+1]]
+			s2 += a.Val[k+2] * x[a.Col[k+2]]
+			s3 += a.Val[k+3] * x[a.Col[k+3]]
+		}
+		for ; k < end; k++ {
+			s0 += a.Val[k] * x[a.Col[k]]
+		}
+		y[i-yoff] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+// mulVec is the shared SPMV dispatcher: rows [lo, hi) of A applied to x,
+// row i written to y[i-yoff]. Small ranges run serially on the caller; the
+// full range uses the cached chunk plan; partial ranges (rank-local SPMV)
+// derive nnz-balanced chunk bounds by binary search inside each chunk body,
+// so the dispatch allocates nothing.
+func (a *CSR) mulVec(y, x []float64, lo, hi, yoff int) {
+	if len(x) < a.Cols {
+		panic(fmt.Sprintf("sparse: MulVec x too short: %d < %d", len(x), a.Cols))
+	}
+	if lo >= hi {
+		return
+	}
+	total := a.rowWork(lo, hi)
+	nc := par.NumChunks(total)
+	if nc <= 1 {
+		a.mulRows(y, x, lo, hi, yoff)
+		return
+	}
+	if lo == 0 && hi == a.Rows {
+		ch := a.ChunkPlan()
+		n := len(ch.Bounds) - 1
+		par.Default().ForChunks(n, func(c int) {
+			a.mulRows(y, x, ch.Bounds[c], ch.Bounds[c+1], yoff)
+		})
+		return
+	}
+	par.Default().ForChunks(nc, func(c int) {
+		r0 := a.searchRow(lo, hi, c*total/nc)
+		r1 := a.searchRow(lo, hi, (c+1)*total/nc)
+		a.mulRows(y, x, r0, r1, yoff)
+	})
+}
+
 // MulVec computes y = A·x. y and x must not alias.
 func (a *CSR) MulVec(y, x []float64) {
-	a.MulVecRange(y, x, 0, a.Rows)
+	a.mulVec(y, x, 0, a.Rows, 0)
 }
 
 // MulVecRange computes y[i] = (A·x)[i] for i in [lo, hi). It is the
 // rank-local SPMV: a rank owning rows [lo,hi) applies only those rows.
 // x must cover all referenced columns; y is indexed globally.
 func (a *CSR) MulVecRange(y, x []float64, lo, hi int) {
-	if len(x) < a.Cols {
-		panic(fmt.Sprintf("sparse: MulVec x too short: %d < %d", len(x), a.Cols))
-	}
+	a.mulVec(y, x, lo, hi, 0)
+}
+
+// MulVecRangeInto computes rows [lo, hi) of A·x into the local-indexed
+// destination: y[i-lo] = (A·x)[i]. This is the form the SPMD runtime needs —
+// each rank's vectors are local slices of length hi-lo.
+func (a *CSR) MulVecRangeInto(y, x []float64, lo, hi int) {
+	a.mulVec(y, x, lo, hi, lo)
+}
+
+// diagInto fills d[i-lo] with a(i,i) for rows [lo, hi) in one linear pass
+// per row (column indices are sorted, so the scan stops at the first column
+// past the diagonal). Zeros where the diagonal entry is absent.
+func (a *CSR) diagInto(d []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		var s float64
+		d[i-lo] = 0
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * x[a.Col[k]]
+			c := a.Col[k]
+			if c >= i {
+				if c == i {
+					d[i-lo] = a.Val[k]
+				}
+				break
+			}
 		}
-		y[i] = s
 	}
+}
+
+// DiagRange returns the diagonal entries of rows [lo, hi) (zeros where
+// absent), locally indexed — the form the rank-local preconditioners need.
+func (a *CSR) DiagRange(lo, hi int) []float64 {
+	d := make([]float64, hi-lo)
+	n := hi
+	if a.Cols < n {
+		n = a.Cols
+	}
+	a.diagInto(d, lo, n)
+	return d
 }
 
 // Diag returns the matrix diagonal as a slice (zeros where absent).
@@ -143,9 +293,7 @@ func (a *CSR) Diag() []float64 {
 		n = a.Cols
 	}
 	d := make([]float64, a.Rows)
-	for i := 0; i < n; i++ {
-		d[i] = a.At(i, i)
-	}
+	a.diagInto(d, 0, n)
 	return d
 }
 

@@ -1,0 +1,193 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// bandMatrix builds an n×n banded matrix with the given half-bandwidth —
+// large enough to exercise the parallel SPMV path.
+func bandMatrix(n, half int) *CSR {
+	b := NewBuilder(n, n)
+	b.Reserve(n * (2*half + 1))
+	for i := 0; i < n; i++ {
+		for j := i - half; j <= i+half; j++ {
+			if j < 0 || j >= n {
+				continue
+			}
+			v := -1.0 / (1 + math.Abs(float64(i-j)))
+			if i == j {
+				v = float64(2*half) + 1
+			}
+			b.Add(i, j, v)
+		}
+	}
+	return b.Build()
+}
+
+func TestChunkPlanCoversAllRowsBalanced(t *testing.T) {
+	a := bandMatrix(20000, 4)
+	ch := a.ChunkPlan()
+	if ch.Bounds[0] != 0 || ch.Bounds[len(ch.Bounds)-1] != a.Rows {
+		t.Fatalf("plan bounds %v do not cover [0,%d)", ch.Bounds[:2], a.Rows)
+	}
+	nc := len(ch.Bounds) - 1
+	if nc < 2 {
+		t.Fatalf("large matrix should split, got %d chunks", nc)
+	}
+	target := float64(a.NNZ()+a.Rows) / float64(nc)
+	for c := 0; c < nc; c++ {
+		lo, hi := ch.Bounds[c], ch.Bounds[c+1]
+		if hi < lo {
+			t.Fatalf("chunk %d inverted: [%d,%d)", c, lo, hi)
+		}
+		w := float64(a.RowPtr[hi] - a.RowPtr[lo] + hi - lo)
+		// Each chunk within 2× of the balanced share (rows are atomic).
+		if w > 2*target+float64(a.RowPtr[hi]-a.RowPtr[hi-1]) {
+			t.Fatalf("chunk %d work %g vs target %g", c, w, target)
+		}
+	}
+	if a.ChunkPlan() != ch {
+		t.Fatal("plan must be cached")
+	}
+}
+
+func TestMulVecRangeEmptyRange(t *testing.T) {
+	a := bandMatrix(100, 2)
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = 1
+		y[i] = 7
+	}
+	a.MulVecRange(y, x, 40, 40) // empty: must not touch y
+	a.MulVecRange(y, x, 60, 50) // inverted: also empty
+	for i, v := range y {
+		if v != 7 {
+			t.Fatalf("y[%d] touched: %g", i, v)
+		}
+	}
+	a.MulVecRangeInto(nil, x, 30, 30) // empty local range, nil dst is fine
+}
+
+func TestMulVecEmptyRows(t *testing.T) {
+	// Rows 0, 2, 4... empty.
+	b := NewBuilder(8, 8)
+	for i := 1; i < 8; i += 2 {
+		b.Add(i, i, float64(i))
+	}
+	a := b.Build()
+	x := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	y := make([]float64, 8)
+	a.MulVec(y, x)
+	for i := 0; i < 8; i++ {
+		want := 0.0
+		if i%2 == 1 {
+			want = float64(i)
+		}
+		if y[i] != want {
+			t.Fatalf("y[%d] = %g want %g", i, y[i], want)
+		}
+	}
+}
+
+func TestMulVecRangeRectangular(t *testing.T) {
+	// 5×3 (tall) and 3×5 (wide).
+	tall := FromDense(5, 3, []float64{
+		1, 0, 0,
+		0, 2, 0,
+		0, 0, 3,
+		4, 0, 0,
+		0, 5, 0,
+	})
+	x := []float64{1, 10, 100}
+	y := make([]float64, 5)
+	tall.MulVecRange(y, x, 1, 4)
+	want := []float64{0, 20, 300, 4, 0}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("tall y = %v want %v", y, want)
+		}
+	}
+	wide := FromDense(2, 4, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	z := make([]float64, 2)
+	wide.MulVec(z, []float64{1, 1, 1, 1})
+	if z[0] != 10 || z[1] != 26 {
+		t.Fatalf("wide z = %v", z)
+	}
+	local := make([]float64, 1)
+	wide.MulVecRangeInto(local, []float64{1, 1, 1, 1}, 1, 2)
+	if local[0] != 26 {
+		t.Fatalf("into = %v", local)
+	}
+}
+
+// TestMulVecRangeIntoMatchesRange: the local-indexed form must agree with
+// the global-indexed form row for row.
+func TestMulVecRangeIntoMatchesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := bandMatrix(3000, 7)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	global := make([]float64, a.Rows)
+	a.MulVecRange(global, x, 500, 2500)
+	local := make([]float64, 2000)
+	a.MulVecRangeInto(local, x, 500, 2500)
+	for i := 0; i < 2000; i++ {
+		if local[i] != global[500+i] {
+			t.Fatalf("row %d: %g != %g", 500+i, local[i], global[500+i])
+		}
+	}
+}
+
+// TestMulVecDeterministicAcrossWorkers: rows are atomic units, so the SPMV
+// result must be bit-identical for every pool size.
+func TestMulVecDeterministicAcrossWorkers(t *testing.T) {
+	defer par.SetWorkers(0)
+	rng := rand.New(rand.NewSource(11))
+	a := bandMatrix(30000, 5)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, a.Rows)
+	par.SetWorkers(1)
+	a.MulVec(ref, x)
+	y := make([]float64, a.Rows)
+	for _, w := range []int{2, 4, 8} {
+		par.SetWorkers(w)
+		a.MulVec(y, x)
+		for i := range y {
+			if y[i] != ref[i] {
+				t.Fatalf("w=%d row %d: %x != %x", w, i, y[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDiagRange(t *testing.T) {
+	a := FromDense(4, 4, []float64{
+		1, 2, 0, 0,
+		0, 0, 3, 0, // zero diagonal
+		0, 4, 5, 0,
+		0, 0, 0, 6,
+	})
+	d := a.DiagRange(1, 4)
+	if d[0] != 0 || d[1] != 5 || d[2] != 6 {
+		t.Fatalf("diag range = %v", d)
+	}
+	// Rectangular: diagonal stops at min(Rows, Cols).
+	r := FromDense(3, 2, []float64{7, 0, 0, 8, 9, 9})
+	dr := r.DiagRange(0, 3)
+	if dr[0] != 7 || dr[1] != 8 || dr[2] != 0 {
+		t.Fatalf("rect diag = %v", dr)
+	}
+	if got := r.Diag(); got[2] != 0 || got[0] != 7 {
+		t.Fatalf("Diag = %v", got)
+	}
+}

@@ -6,17 +6,65 @@
 // Functions operate on plain []float64 slices over a caller-chosen index
 // range so the same kernels serve the sequential runtime (range = whole
 // vector) and the SPMD runtime (range = the rank's rows).
+//
+// Threading and determinism. The kernels run on the shared internal/par
+// worker pool: long vectors are split into chunks whose geometry depends
+// only on the vector length, reductions (Dot, GramLocal, DotsAgainst) fold
+// per-chunk partials in ascending chunk order, and the inner loops are 4-way
+// unrolled with a fixed re-association. Results are therefore bit-identical
+// across runs and across worker counts (including the serial fast path,
+// which walks the same chunks in the same order). The recurrence LCs are
+// single-sweep fused loops: each destination column is produced in one
+// read+write pass (dst = base + Σ_k coef_k·col_k per element) instead of one
+// copy plus s axpy sweeps. Callers' Charge() accounting is unchanged — the
+// pool alters wall-clock time, not counted work.
 package vec
 
-import "math"
+import (
+	"math"
 
-// Dot returns Σ x[i]·y[i].
-func Dot(x, y []float64) float64 {
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	"repro/internal/par"
+)
+
+// dotRange returns Σ x[i]·y[i] over [lo, hi), 4-way unrolled. The partial
+// accumulators are combined as (s0+s1)+(s2+s3) — a fixed association, so the
+// bit pattern depends only on the index range.
+func dotRange(x, y []float64, lo, hi int) float64 {
+	var s0, s1, s2, s3 float64
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
 	}
-	return s
+	for ; i < hi; i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// axpyRange computes y[i] += a·x[i] over [lo, hi), 4-way unrolled.
+func axpyRange(y []float64, a float64, x []float64, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < hi; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot returns Σ x[i]·y[i], chunk-parallel with a fixed-order reduction.
+func Dot(x, y []float64) float64 {
+	var out [1]float64
+	par.Default().RangeReduce(out[:], len(x), func(lo, hi int, o []float64) {
+		o[0] += dotRange(x, y, lo, hi)
+	})
+	return out[0]
 }
 
 // Norm2 returns the Euclidean norm of x.
@@ -24,16 +72,18 @@ func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
 
 // Axpy computes y += a·x.
 func Axpy(y []float64, a float64, x []float64) {
-	for i, v := range x {
-		y[i] += a * v
-	}
+	par.Default().Range(len(x), func(lo, hi int) {
+		axpyRange(y, a, x, lo, hi)
+	})
 }
 
 // Axpby computes y = a·x + b·y.
 func Axpby(y []float64, a float64, x []float64, b float64) {
-	for i, v := range x {
-		y[i] = a*v + b*y[i]
-	}
+	par.Default().Range(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = a*x[i] + b*y[i]
+		}
+	})
 }
 
 // Copy copies src into dst (lengths must match).
@@ -46,9 +96,11 @@ func Copy(dst, src []float64) {
 
 // Scale multiplies x by a in place.
 func Scale(x []float64, a float64) {
-	for i := range x {
-		x[i] *= a
-	}
+	par.Default().Range(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= a
+		}
+	})
 }
 
 // Zero clears x.
@@ -60,9 +112,21 @@ func Zero(x []float64) {
 
 // Sub computes dst = x - y.
 func Sub(dst, x, y []float64) {
-	for i := range dst {
-		dst[i] = x[i] - y[i]
-	}
+	par.Default().Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = x[i] - y[i]
+		}
+	})
+}
+
+// MulInto computes dst[i] = x[i]·w[i] — the diagonal-scaling kernel of the
+// Jacobi and Chebyshev preconditioners. dst may alias x.
+func MulInto(dst, x, w []float64) {
+	par.Default().Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = x[i] * w[i]
+		}
+	})
 }
 
 // MaxAbs returns max_i |x[i]| (the infinity norm).
@@ -127,37 +191,125 @@ func (m Multi) CopyFrom(src Multi) {
 	}
 }
 
+// sameSlice reports whether a and b share the same backing start.
+func sameSlice(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// lcRange computes dst[i] = src[i] + Σ_t coef[t]·cols[t][i] for i in
+// [lo, hi) — one fused read+write sweep per column, replacing the copy +
+// s-axpy formulation. src may alias dst. The term order is ascending t, the
+// same association the axpy formulation used, so results match the old
+// kernels bit for bit. Term counts up to 3 (s = 3 is the paper's default)
+// are specialized.
+func lcRange(dst, src []float64, cols [][]float64, coef []float64, lo, hi int) {
+	switch len(cols) {
+	case 0:
+		if !sameSlice(dst, src) {
+			copy(dst[lo:hi], src[lo:hi])
+		}
+	case 1:
+		c0, a0 := cols[0], coef[0]
+		for i := lo; i < hi; i++ {
+			dst[i] = src[i] + a0*c0[i]
+		}
+	case 2:
+		c0, a0 := cols[0], coef[0]
+		c1, a1 := cols[1], coef[1]
+		for i := lo; i < hi; i++ {
+			dst[i] = src[i] + a0*c0[i] + a1*c1[i]
+		}
+	case 3:
+		c0, a0 := cols[0], coef[0]
+		c1, a1 := cols[1], coef[1]
+		c2, a2 := cols[2], coef[2]
+		for i := lo; i < hi; i++ {
+			dst[i] = src[i] + a0*c0[i] + a1*c1[i] + a2*c2[i]
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			acc := src[i]
+			for t, c := range cols {
+				acc += coef[t] * c[i]
+			}
+			dst[i] = acc
+		}
+	}
+}
+
+// lcPlan is the compacted form of one destination column's linear
+// combination: only the nonzero-coefficient source columns.
+type lcPlan struct {
+	cols [][]float64
+	coef []float64
+}
+
+// planColumn compacts column j of the s×s row-major coefficient matrix b
+// against the source block p.
+func planColumn(p Multi, b []float64, j, s int) lcPlan {
+	var pl lcPlan
+	for k := 0; k < s; k++ {
+		if beta := b[k*s+j]; beta != 0 {
+			pl.cols = append(pl.cols, p[k])
+			pl.coef = append(pl.coef, beta)
+		}
+	}
+	return pl
+}
+
+// planVector compacts the coefficient vector a (scaled by sign) against the
+// columns of q.
+func planVector(q Multi, a []float64, sign float64) lcPlan {
+	var pl lcPlan
+	for j, col := range q {
+		if a[j] != 0 {
+			pl.cols = append(pl.cols, col)
+			pl.coef = append(pl.coef, sign*a[j])
+		}
+	}
+	return pl
+}
+
+// runColumnLCs executes a set of per-column fused LCs (dst[j] = src[j] +
+// plan[j]) in one parallel region: every chunk sweeps all columns over its
+// row range, keeping the source blocks cache-hot across columns.
+func runColumnLCs(dst, src [][]float64, plans []lcPlan, n int) {
+	par.Default().Range(n, func(lo, hi int) {
+		for j := range plans {
+			lcRange(dst[j], src[j], plans[j].cols, plans[j].coef, lo, hi)
+		}
+	})
+}
+
 // AddScaledBlock computes Q[j] += Σ_k P[k]·B[k*s+j] for all j — the
-// recurrence LC "Q = Q + P·B" with B an s×s row-major matrix. The flop count
-// is 2·n·s² (paper §V counts these LCs as series of VMAs).
+// recurrence LC "Q = Q + P·B" with B an s×s row-major matrix, fused to a
+// single read+write sweep per column. The flop count is 2·n·s² (paper §V
+// counts these LCs as series of VMAs).
 func AddScaledBlock(q, p Multi, b []float64) {
 	s := len(q)
 	if len(p) != s || len(b) != s*s {
 		panic("vec: AddScaledBlock shape mismatch")
 	}
-	for k := 0; k < s; k++ {
-		pk := p[k]
-		for j := 0; j < s; j++ {
-			beta := b[k*s+j]
-			if beta == 0 {
-				continue
-			}
-			Axpy(q[j], beta, pk)
-		}
+	if s == 0 {
+		return
 	}
+	plans := make([]lcPlan, s)
+	for j := 0; j < s; j++ {
+		plans[j] = planColumn(p, b, j, s)
+	}
+	runColumnLCs(q, q, plans, q.N())
 }
 
-// AccumulateColumns computes y += Q·a, i.e. y += Σ_j a[j]·Q[j]. Used for
-// x_{i+1} = x_i + Q·α. Flops: 2·n·s.
+// AccumulateColumns computes y += Q·a, i.e. y += Σ_j a[j]·Q[j], in one fused
+// sweep over y. Used for x_{i+1} = x_i + Q·α. Flops: 2·n·s.
 func AccumulateColumns(y []float64, q Multi, a []float64) {
 	if len(a) != len(q) {
 		panic("vec: AccumulateColumns shape mismatch")
 	}
-	for j, col := range q {
-		if a[j] != 0 {
-			Axpy(y, a[j], col)
-		}
-	}
+	pl := planVector(q, a, 1)
+	par.Default().Range(q.N(), func(lo, hi int) {
+		lcRange(y, y, pl.cols, pl.coef, lo, hi)
+	})
 }
 
 // SubtractColumns computes y -= Q·a, used for r_{i+1} = r_i - AQ·α.
@@ -165,11 +317,10 @@ func SubtractColumns(y []float64, q Multi, a []float64) {
 	if len(a) != len(q) {
 		panic("vec: SubtractColumns shape mismatch")
 	}
-	for j, col := range q {
-		if a[j] != 0 {
-			Axpy(y, -a[j], col)
-		}
-	}
+	pl := planVector(q, a, -1)
+	par.Default().Range(q.N(), func(lo, hi int) {
+		lcRange(y, y, pl.cols, pl.coef, lo, hi)
+	})
 }
 
 // InitAddScaledBlock computes dst[j] = base[j] + Σ_k p[k]·b[k*s+j] in one
@@ -182,51 +333,92 @@ func InitAddScaledBlock(dst Multi, base [][]float64, p Multi, b []float64) {
 	if len(base) < s || len(p) != s || len(b) != s*s {
 		panic("vec: InitAddScaledBlock shape mismatch")
 	}
-	for j := 0; j < s; j++ {
-		dj, bj := dst[j], base[j]
-		copy(dj, bj)
-		for k := 0; k < s; k++ {
-			beta := b[k*s+j]
-			if beta != 0 {
-				Axpy(dj, beta, p[k])
-			}
-		}
+	if s == 0 {
+		return
 	}
+	plans := make([]lcPlan, s)
+	for j := 0; j < s; j++ {
+		plans[j] = planColumn(p, b, j, s)
+	}
+	runColumnLCs(dst, base, plans, dst.N())
 }
 
 // PipelinedUpdate computes dst[j] = src[j] - m[j]·a for each column j, where
 // m[j] is itself a multivector (the paper's P[j] = Q[j] - AQm[j]·α update,
-// Alg. 5 lines 22-24).
+// Alg. 5 lines 22-24), fused to one sweep per column.
 func PipelinedUpdate(dst, src Multi, m []Multi, a []float64) {
 	if len(dst) != len(src) || len(m) < len(dst) {
 		panic("vec: PipelinedUpdate shape mismatch")
 	}
-	for j := range dst {
-		Copy(dst[j], src[j])
-		SubtractColumns(dst[j], m[j], a)
+	if len(dst) == 0 {
+		return
 	}
+	plans := make([]lcPlan, len(dst))
+	for j := range dst {
+		if len(a) != len(m[j]) {
+			panic("vec: PipelinedUpdate shape mismatch")
+		}
+		plans[j] = planVector(m[j], a, -1)
+	}
+	runColumnLCs(dst, src, plans, dst.N())
 }
 
 // GramLocal computes the s×s local Gram block G[k*s+j] = p[k]·q[j] over the
-// slices' index range. Callers allreduce the result across ranks.
+// slices' index range, chunk-parallel with a fixed-order reduction. When p
+// and q alias the same block (column for column), only the upper triangle is
+// computed and the result is mirrored — the Gram matrix is symmetric.
+// Callers allreduce the result across ranks.
 func GramLocal(dst []float64, p, q Multi) {
 	s1, s2 := len(p), len(q)
 	if len(dst) != s1*s2 {
 		panic("vec: GramLocal shape mismatch")
 	}
-	for k := 0; k < s1; k++ {
-		for j := 0; j < s2; j++ {
-			dst[k*s2+j] = Dot(p[k], q[j])
+	if s1 == 0 || s2 == 0 {
+		return
+	}
+	sym := s1 == s2
+	if sym {
+		for k := 0; k < s1; k++ {
+			if !sameSlice(p[k], q[k]) {
+				sym = false
+				break
+			}
+		}
+	}
+	n := len(p[0])
+	par.Default().RangeReduce(dst, n, func(lo, hi int, out []float64) {
+		for k := 0; k < s1; k++ {
+			j0 := 0
+			if sym {
+				j0 = k
+			}
+			pk := p[k]
+			for j := j0; j < s2; j++ {
+				out[k*s2+j] += dotRange(pk, q[j], lo, hi)
+			}
+		}
+	})
+	if sym {
+		for k := 1; k < s1; k++ {
+			for j := 0; j < k; j++ {
+				dst[k*s2+j] = dst[j*s2+k]
+			}
 		}
 	}
 }
 
-// DotsAgainst computes dst[j] = x·q[j] for each column of q.
+// DotsAgainst computes dst[j] = x·q[j] for each column of q, sharing one
+// parallel sweep over x across all columns.
 func DotsAgainst(dst []float64, x []float64, q Multi) {
 	if len(dst) != len(q) {
 		panic("vec: DotsAgainst shape mismatch")
 	}
-	for j, col := range q {
-		dst[j] = Dot(x, col)
+	if len(q) == 0 {
+		return
 	}
+	par.Default().RangeReduce(dst, len(x), func(lo, hi int, out []float64) {
+		for j, col := range q {
+			out[j] += dotRange(x, col, lo, hi)
+		}
+	})
 }
