@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels tier1
+.PHONY: all build test race vet bench bench-kernels chaos tier1
 
 all: tier1
 
@@ -18,9 +18,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# tier1 is the gate every change must pass: build, vet, full tests, and the
-# race detector over the concurrent packages.
-tier1: build vet test race
+# Seeded fault-injection suite under the race detector: the injector, the
+# deadline/ack-resend/checksum machinery, the mailbox leak check, and the
+# chaos matrix over solvers × fault scenarios × rank counts.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Resilience|Ladder|Leak|Timeout|Deadlock|Straggler|Checksum|RecoverPolicy|Injector|SendBufferReuse|RunErr|CloseCancels' ./internal/comm ./internal/krylov
+
+# tier1 is the gate every change must pass: build, vet, full tests, the
+# race detector over the concurrent packages, and the chaos suite.
+tier1: build vet test race chaos
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/engine"
@@ -23,6 +24,14 @@ type Engine struct {
 	lo, hi  int
 	scratch []float64 // full-length source buffer for SpMV
 	c       trace.Counters
+
+	// sendBufs double-buffers the per-neighbor halo payloads (indexed by
+	// haloSeq parity) so SpMV allocates nothing in steady state. Alternating
+	// buffers is safe because a rank cannot start halo exchange seq+2 before
+	// its neighbor has consumed exchange seq: completing seq+1 requires the
+	// neighbor's seq+1 payload, which the neighbor only sends after its own
+	// seq receives finished.
+	sendBufs map[int]*[2][]float64
 
 	collSeq int // collective sequence counter, advanced identically on all ranks
 	haloSeq int
@@ -52,7 +61,8 @@ func NewEngines(f *Fabric, a *sparse.CSR, pt partition.Partition, pcf PCFactory)
 		e := &Engine{
 			f: f, rank: r, a: a, pt: pt, halo: halos[r],
 			lo: pt.Lo(r), hi: pt.Hi(r),
-			scratch: make([]float64, a.Cols),
+			scratch:  make([]float64, a.Cols),
+			sendBufs: map[int]*[2][]float64{},
 		}
 		if pcf != nil {
 			e.pc = pcf(a, e.lo, e.hi)
@@ -79,9 +89,14 @@ func (e *Engine) SpMV(dst, src []float64) {
 
 	seq := e.haloSeq
 	e.haloSeq++
-	// Send owned values each neighbor needs.
+	// Send owned values each neighbor needs, reusing the parity buffer.
 	for nbr, rows := range e.halo.Send {
-		out := make([]float64, len(rows))
+		bufs, ok := e.sendBufs[nbr]
+		if !ok {
+			bufs = &[2][]float64{make([]float64, len(rows)), make([]float64, len(rows))}
+			e.sendBufs[nbr] = bufs
+		}
+		out := bufs[seq&1]
 		for i, row := range rows {
 			out[i] = src[row-e.lo]
 		}
@@ -89,7 +104,10 @@ func (e *Engine) SpMV(dst, src []float64) {
 	}
 	// Receive ghost values.
 	for nbr, cols := range e.halo.Recv {
-		in := e.f.recv(e.rank, nbr, kindHalo, seq)
+		in, err := e.f.recv(e.rank, nbr, kindHalo, seq)
+		if err != nil {
+			panic(commPanic{err})
+		}
 		for i, col := range cols {
 			e.scratch[col] = in[i]
 		}
@@ -118,11 +136,15 @@ func (e *Engine) ApplyPC(dst, src []float64) {
 	e.c.PCFlops += flops
 }
 
-// AllreduceSum implements engine.Engine.
+// AllreduceSum implements engine.Engine. A fabric failure (deadline
+// exhausted with nothing recoverable) surfaces as a typed panic that
+// comm.RunErr converts back into the *FaultError.
 func (e *Engine) AllreduceSum(buf []float64) {
 	seq := e.collSeq
 	e.collSeq++
-	e.f.allreduceSum(e.rank, seq, buf)
+	if err := e.f.allreduceSum(e.rank, seq, buf); err != nil {
+		panic(commPanic{err})
+	}
 	e.c.Allreduce++
 	e.c.ReduceWords += len(buf)
 }
@@ -139,14 +161,27 @@ func (e *Engine) IallreduceSum(buf []float64) engine.Request {
 // Charge implements engine.Engine.
 func (e *Engine) Charge(flops, bytes float64) { e.c.Flops += flops }
 
-// Counters implements engine.Engine.
-func (e *Engine) Counters() *trace.Counters { return &e.c }
+// Counters implements engine.Engine. Comm-level fault statistics (timeouts,
+// resends, checksum repairs) observed by this rank's fabric traffic are
+// folded into the counters on every call, so solvers and reports see them
+// without knowing about the fabric.
+func (e *Engine) Counters() *trace.Counters {
+	if e.f.tracking() {
+		st := e.f.Stats(e.rank)
+		e.c.CommTimeouts = st.Timeouts
+		e.c.CommResends = st.Resends
+		e.c.CommCorruptions = st.ChecksumFailures
+	}
+	return &e.c
+}
 
 // Barrier synchronizes all ranks.
 func (e *Engine) Barrier() {
 	seq := e.collSeq
 	e.collSeq++
-	e.f.barrier(e.rank, seq)
+	if err := e.f.barrier(e.rank, seq); err != nil {
+		panic(commPanic{err})
+	}
 }
 
 // Scatter splits a global vector into per-rank local slices under pt.
@@ -181,4 +216,37 @@ func Run(engines []*Engine, body func(rank int, e *Engine)) {
 		}(r, e)
 	}
 	wg.Wait()
+}
+
+// commPanic wraps a fabric error so it can unwind a rank's solver stack from
+// inside an engine kernel (whose interface has no error return) and be
+// recovered by RunErr.
+type commPanic struct{ err error }
+
+// RunErr is the fault-tolerant SPMD launch: like Run, but each rank's body
+// may return an error, and a fabric failure that unwinds a rank (deadline
+// exhausted, mismatched collective) is recovered and reported as that rank's
+// error instead of crashing the process. Any other panic is also captured —
+// a chaos run must end with a verdict per rank, never a dead process.
+func RunErr(engines []*Engine, body func(rank int, e *Engine) error) []error {
+	errs := make([]error, len(engines))
+	var wg sync.WaitGroup
+	wg.Add(len(engines))
+	for r, e := range engines {
+		go func(r int, e *Engine) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if cp, ok := p.(commPanic); ok {
+						errs[r] = cp.err
+					} else {
+						errs[r] = fmt.Errorf("comm: rank %d panic: %v", r, p)
+					}
+				}
+			}()
+			errs[r] = body(r, e)
+		}(r, e)
+	}
+	wg.Wait()
+	return errs
 }

@@ -40,7 +40,10 @@ func (e *Engine) SpMVPowers(dst [][]float64, src []float64) {
 	cur := e.powersScratch[0]
 	copy(cur[e.lo:e.hi], src)
 	for nbr, cols := range plan.GhostFrom {
-		in := e.f.recv(e.rank, nbr, kindHalo, seq)
+		in, err := e.f.recv(e.rank, nbr, kindHalo, seq)
+		if err != nil {
+			panic(commPanic{err})
+		}
 		for i, col := range cols {
 			cur[col] = in[i]
 		}

@@ -16,6 +16,8 @@
 package engine
 
 import (
+	"time"
+
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -24,6 +26,16 @@ import (
 // values are available in the buffer passed to IallreduceSum.
 type Request interface {
 	Wait()
+}
+
+// DeadlineRequest is an optional Request capability: WaitTimeout bounds the
+// wait and returns an error (typed by the backend, e.g. *comm.FaultError)
+// when the reduction has not completed within d — the solver-side belt over
+// the fabric's own receive deadlines. After a nil return the buffer holds
+// the global sums, exactly as after Wait.
+type DeadlineRequest interface {
+	Request
+	WaitTimeout(d time.Duration) error
 }
 
 // Preconditioner applies M⁻¹ to a vector. Implementations live in

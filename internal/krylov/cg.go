@@ -131,7 +131,11 @@ func PIPECG(e engine.Engine, b []float64, opt Options) (*Result, error) {
 		e.ApplyPC(m, w)
 		e.SpMV(nn, m)
 
-		req.Wait()
+		if err := waitReduce(req, opt.WaitDeadline); err != nil {
+			res.History = mon.hist
+			res.RelRes = mon.relres()
+			return res, err
+		}
 		gamma = buf[0]
 		delta := buf[1]
 		if stop, conv := mon.check(math.Sqrt(math.Abs(buf[2])), i); stop {

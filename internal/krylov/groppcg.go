@@ -46,7 +46,11 @@ func GROPPCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
 		chargeDots(e, n, 1)
 		req := e.IallreduceSum(buf[:1])
 		e.ApplyPC(q, s)
-		req.Wait()
+		if err := waitReduce(req, opt.WaitDeadline); err != nil {
+			res.History = mon.hist
+			res.RelRes = mon.relres()
+			return res, err
+		}
 		delta := buf[0]
 
 		alpha := gamma / delta
@@ -61,7 +65,11 @@ func GROPPCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
 		chargeDots(e, n, 2)
 		req = e.IallreduceSum(buf)
 		e.SpMV(w, u)
-		req.Wait()
+		if err := waitReduce(req, opt.WaitDeadline); err != nil {
+			res.History = mon.hist
+			res.RelRes = mon.relres()
+			return res, err
+		}
 		gammaNew := buf[0]
 
 		res.Iterations++

@@ -25,6 +25,7 @@ package krylov
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/vec"
@@ -88,6 +89,22 @@ type Options struct {
 	// tight tolerances (the Cools–Cornelis–Vanroose remedy the paper's
 	// §V alludes to). 0 disables replacement.
 	ReplaceEvery int
+	// Recover turns the breakdown/divergence/stagnation guards from hard
+	// stops into a recovery policy: the solver restores the best iterate,
+	// recomputes the true residual r = b − A·x, rebuilds the Krylov basis
+	// and continues, and a detected comm-level corruption forces a residual
+	// replacement. Every recovery is recorded in trace.Counters. See also
+	// SolveLadder, which adds the method-degradation rungs on top.
+	Recover bool
+	// MaxRecoveries caps in-solver recovery events (0 means 8 when Recover
+	// is set). A recovery is only retried while the best relative residual
+	// keeps improving, so a hard accuracy floor still terminates the run.
+	MaxRecoveries int
+	// WaitDeadline bounds each non-blocking reduction wait on backends that
+	// support deadline waits (engine.DeadlineRequest): instead of blocking
+	// forever on a lost collective, the solver returns the backend's typed
+	// error. 0 means wait indefinitely.
+	WaitDeadline time.Duration
 }
 
 // Defaults returns the options the paper's experiments use: rtol 1e-5, s=3,
@@ -207,6 +224,30 @@ func (m *monitor) relres() float64 {
 		return math.NaN()
 	}
 	return m.hist[len(m.hist)-1].RelRes
+}
+
+// rearm clears the stop flags after a recovery restart and re-anchors the
+// divergence guard and the stagnation window at the restored iterate.
+func (m *monitor) rearm(rel float64) {
+	m.diverged, m.stagnat = false, false
+	m.recent = m.recent[:0]
+	if rel > 0 && !math.IsNaN(rel) && !math.IsInf(rel, 0) {
+		m.bestRel = rel
+	}
+}
+
+// waitReduce completes a non-blocking reduction, honoring the configured
+// deadline on backends that support it (engine.DeadlineRequest). On a
+// deadline the backend's typed error is returned and the reduction buffer
+// must be considered unusable.
+func waitReduce(req engine.Request, deadline time.Duration) error {
+	if deadline > 0 {
+		if dr, ok := req.(engine.DeadlineRequest); ok {
+			return dr.WaitTimeout(deadline)
+		}
+	}
+	req.Wait()
+	return nil
 }
 
 // chargeAxpys accounts k axpy-like updates of length n: 2 flops and 24 bytes

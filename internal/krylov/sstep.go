@@ -307,6 +307,35 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 	restarts := 0
 	lastRestartRel := math.Inf(1)
 
+	// reseed rebuilds the basis state from the current iterate: the common
+	// tail of every recovery path (breakdown restart, divergence/stagnation
+	// recovery). It recomputes the true residual via bootstrap, which is a
+	// residual replacement by construction.
+	reseed := func() {
+		st.sw.Reset()
+		st.pU.Zero()
+		st.pR.Zero()
+		for k := range st.apU {
+			st.apU[k].Zero()
+			st.apR[k].Zero()
+		}
+		req = bootstrap()
+	}
+
+	// Recovery policy (Options.Recover): how many times the guards may
+	// restart the solve instead of stopping it, gated on progress.
+	maxRec := 0
+	if opt.Recover {
+		maxRec = opt.MaxRecoveries
+		if maxRec <= 0 {
+			maxRec = 8
+		}
+	}
+	recoveries := 0
+	lastRecoveryRel := math.Inf(1)
+	corruptSeen := e.Counters().CommCorruptions
+	forceReplace := false
+
 	// Best-iterate safeguard: s-step recurrences can diverge past their
 	// attainable accuracy on ill-conditioned systems (§V of the paper);
 	// when the run stops without converging, hand back the best iterate.
@@ -316,7 +345,11 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 	alpha := make([]float64, s)
 	for res.Iterations < opt.MaxIter {
 		if cfg.pipelined {
-			req.Wait()
+			if err := waitReduce(req, opt.WaitDeadline); err != nil {
+				res.RelRes = mon.relres()
+				res.History = mon.hist
+				return res, err
+			}
 		}
 		stop, conv := mon.check(math.Sqrt(math.Abs(st.norm2(opt.Norm))), res.Iterations)
 		if rel := mon.relres(); rel < bestRel {
@@ -324,10 +357,37 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 			copy(bestX, st.x)
 		}
 		if stop {
+			if !conv && opt.Recover && (mon.diverged || mon.stagnat) &&
+				recoveries < maxRec && bestRel < 0.99*lastRecoveryRel {
+				// Graceful degradation instead of a hard stop: restore the
+				// best iterate, recompute the true residual, rebuild the
+				// basis and re-arm the guards.
+				recoveries++
+				lastRecoveryRel = bestRel
+				c := e.Counters()
+				c.Recoveries++
+				c.ResidualReplacements++
+				mon.rearm(bestRel)
+				copy(st.x, bestX)
+				reseed()
+				continue
+			}
 			res.Converged = conv
 			res.Stagnated = mon.stagnat
 			res.Diverged = mon.diverged
 			break
+		}
+
+		// A comm-detected corruption event (checksum failure) taints the
+		// recurrence state even after the payload was repaired downstream;
+		// under the recovery policy the next residual advance is forced
+		// through the classical r = b − A·x path.
+		if opt.Recover {
+			if cc := e.Counters().CommCorruptions; cc > corruptSeen {
+				corruptSeen = cc
+				forceReplace = true
+				e.Counters().Recoveries++
+			}
 		}
 
 		coeffs, err := st.sw.Step(st.pay, st.buf)
@@ -339,14 +399,10 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 					// current iterate and continue.
 					restarts++
 					lastRestartRel = rel
-					st.sw.Reset()
-					st.pU.Zero()
-					st.pR.Zero()
-					for k := range st.apU {
-						st.apU[k].Zero()
-						st.apR[k].Zero()
-					}
-					req = bootstrap()
+					c := e.Counters()
+					c.Recoveries++
+					c.ResidualReplacements++
+					reseed()
 					continue
 				}
 				res.BrokeDown = true
@@ -378,6 +434,13 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 			replacePeriod = (opt.ReplaceEvery + s - 1) / s
 		}
 		replace := replacePeriod > 0 && res.Outer > 0 && res.Outer%replacePeriod == 0
+		if forceReplace {
+			replace = true
+			forceReplace = false
+			if !cfg.classical {
+				e.Counters().ResidualReplacements++
+			}
+		}
 		if cfg.classical || replace {
 			// r = b - A·x (the extra SPMV of Alg. 2/3), u = M⁻¹r, then
 			// rebuild powers 1..s with SPMVs (+PCs when preconditioned).

@@ -23,6 +23,20 @@ type Counters struct {
 	PCFlops   float64
 
 	Iterations int // solver-reported iterations (PCG-equivalent steps)
+
+	// Resilience counters — solver-level recovery events. Every entry is a
+	// moment the run would previously have hard-stopped (or silently drifted)
+	// and instead repaired itself.
+	Recoveries           int // total recovery events (restarts, forced replacements, stepdowns)
+	ResidualReplacements int // r = b − A·x recomputed outside the normal schedule
+	LadderStepdowns      int // degradation-ladder method switches (PIPE-PsCG → PsCG → PCG)
+
+	// Comm-level fault counters, folded in by fault-tracking runtimes: recv
+	// deadline expiries, payloads recovered from the retransmit store, and
+	// checksum failures detected (repaired when the pristine copy survived).
+	CommTimeouts    int
+	CommResends     int
+	CommCorruptions int
 }
 
 // Reset zeroes all counters.
@@ -30,6 +44,20 @@ func (c *Counters) Reset() { *c = Counters{} }
 
 // TotalAllreduces returns blocking plus non-blocking reductions.
 func (c *Counters) TotalAllreduces() int { return c.Allreduce + c.Iallreduce }
+
+// RecoveryEvents totals every recovery action across both resilience layers:
+// solver-level restarts/replacements/stepdowns plus comm-level resends and
+// repaired corruptions. A fault-free run reports 0.
+func (c *Counters) RecoveryEvents() int {
+	return c.Recoveries + c.CommResends + c.CommCorruptions
+}
+
+// RecoveryString summarizes the resilience counters.
+func (c *Counters) RecoveryString() string {
+	return fmt.Sprintf("recoveries=%d replacements=%d stepdowns=%d comm(timeouts=%d resends=%d corruptions=%d)",
+		c.Recoveries, c.ResidualReplacements, c.LadderStepdowns,
+		c.CommTimeouts, c.CommResends, c.CommCorruptions)
+}
 
 // FlopsPerN returns the VMA/dot flops normalized by problem size and
 // PCG-equivalent iterations — directly comparable to the "FLOPS (×N)"
