@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels chaos tier1
+.PHONY: all build test race vet bench bench-kernels chaos serve-smoke tier1
 
 all: tier1
 
@@ -10,10 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency-bearing packages: the worker pool and the
-# goroutine-rank communication runtime (which shares the pool across ranks).
+# Race-check the concurrency-bearing packages: the worker pool, the
+# goroutine-rank communication runtime (which shares the pool across ranks),
+# and the solver service (registry LRU, job manager, drain).
 race:
-	$(GO) test -race ./internal/par/... ./internal/comm/...
+	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/...
 
 vet:
 	$(GO) vet ./...
@@ -24,9 +25,16 @@ vet:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Resilience|Ladder|Leak|Timeout|Deadlock|Straggler|Checksum|RecoverPolicy|Injector|SendBufferReuse|RunErr|CloseCancels' ./internal/comm ./internal/krylov
 
+# Solver-service smoke: a real daemon on an ephemeral port, 32 concurrent
+# closed-loop clients over 4 registry entries, zero lost jobs, graceful
+# drain, goroutine-leak assertion — all under the race detector.
+serve-smoke:
+	$(GO) test -race -run TestServeSmoke -v -count=1 ./internal/serve
+
 # tier1 is the gate every change must pass: build, vet, full tests, the
-# race detector over the concurrent packages, and the chaos suite.
-tier1: build vet test race chaos
+# race detector over the concurrent packages, the chaos suite, and the
+# solver-service smoke.
+tier1: build vet test race chaos serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,0 +1,163 @@
+// Command solverbench is a closed-loop load generator for solverd: N client
+// goroutines each hold one request in flight against /v1/solve, cycling over
+// a set of problem specs, and every response is accounted — converged,
+// rejected by admission control (429), canceled by its own deadline, or
+// failed. The run is "clean" (exit 0) only when no job is lost: submitted
+// work must end in exactly one of those buckets.
+//
+// Example (against a local solverd):
+//
+//	solverbench -addr 127.0.0.1:8080 -clients 32 -jobs 4 \
+//	    -problems 'poisson7:5,poisson7:6,poisson125:8,thermal2:64'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+type outcome struct {
+	converged, rejected, canceled, failed, lost int
+	latencies                                   []time.Duration
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("solverbench: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "solverd address")
+		clients  = flag.Int("clients", 32, "concurrent closed-loop clients")
+		jobs     = flag.Int("jobs", 4, "jobs per client")
+		problems = flag.String("problems", "poisson7:5,poisson7:6,poisson125:8,thermal2:64",
+			"comma-separated problem specs, name[:param] (param = n for grids, scale for stand-ins)")
+		method    = flag.String("method", "", "solver method (empty = server default, the resilience ladder)")
+		pc        = flag.String("pc", "", "preconditioner (empty = server default)")
+		timeoutMS = flag.Int("timeout-ms", 0, "per-job budget override in milliseconds")
+	)
+	flag.Parse()
+
+	specs, err := parseSpecs(*problems)
+	if err != nil {
+		log.Fatal(err)
+	}
+	url := "http://" + strings.TrimPrefix(*addr, "http://")
+
+	results := make([]outcome, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < *jobs; k++ {
+				req := specs[(c+k)%len(specs)]
+				req.Method, req.PC, req.TimeoutMS = *method, *pc, *timeoutMS
+				results[c].account(url, req)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total outcome
+	for _, r := range results {
+		total.converged += r.converged
+		total.rejected += r.rejected
+		total.canceled += r.canceled
+		total.failed += r.failed
+		total.lost += r.lost
+		total.latencies = append(total.latencies, r.latencies...)
+	}
+	submitted := *clients * *jobs
+	fmt.Printf("submitted %d jobs from %d clients over %d specs in %s\n",
+		submitted, *clients, len(specs), elapsed.Round(time.Millisecond))
+	fmt.Printf("  converged %d  rejected(429) %d  canceled %d  failed %d  lost %d\n",
+		total.converged, total.rejected, total.canceled, total.failed, total.lost)
+	if n := len(total.latencies); n > 0 {
+		sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+		fmt.Printf("  latency p50 %s  p95 %s  max %s\n",
+			total.latencies[n/2].Round(time.Microsecond),
+			total.latencies[n*95/100].Round(time.Microsecond),
+			total.latencies[n-1].Round(time.Microsecond))
+	}
+	if total.lost > 0 || total.failed > 0 {
+		log.Fatalf("run not clean: %d lost, %d failed", total.lost, total.failed)
+	}
+}
+
+// account issues one synchronous solve and files the response in a bucket.
+func (o *outcome) account(url string, req serve.SolveRequest) {
+	body, _ := json.Marshal(req)
+	t0 := time.Now()
+	resp, err := http.Post(url+"/v1/solve", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		o.lost++
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		o.rejected++
+		return
+	case http.StatusOK:
+	default:
+		o.lost++
+		return
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		o.lost++
+		return
+	}
+	switch st.State {
+	case serve.JobConverged:
+		o.converged++
+		o.latencies = append(o.latencies, time.Since(t0))
+	case serve.JobCanceled:
+		o.canceled++
+	default:
+		o.failed++
+	}
+}
+
+// parseSpecs turns "poisson7:5,thermal2:64" into solve requests; the single
+// parameter maps onto N for grid problems and Scale for the stand-ins.
+func parseSpecs(list string) ([]serve.SolveRequest, error) {
+	var out []serve.SolveRequest
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, param := part, 0
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			v, err := strconv.Atoi(part[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("bad spec %q: %v", part, err)
+			}
+			param = v
+		}
+		spec := serve.ProblemSpec{Problem: name}
+		if strings.HasPrefix(name, "poisson") {
+			spec.N = param
+		} else {
+			spec.Scale = param
+		}
+		out = append(out, serve.SolveRequest{ProblemSpec: spec})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no problem specs in %q", list)
+	}
+	return out, nil
+}

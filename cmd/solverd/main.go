@@ -1,0 +1,94 @@
+// Command solverd is the solver daemon: it serves the internal/serve HTTP
+// API — named operators kept resident in an LRU registry, jobs under
+// admission control, per-job NDJSON progress streams, and a Prometheus
+// /metrics plane — until SIGTERM/SIGINT triggers a graceful drain.
+//
+// Examples:
+//
+//	solverd -addr :8080
+//	solverd -addr 127.0.0.1:9000 -workers 8 -queue 128 -load m1.mtx,m2.mtx.gz
+//
+// then:
+//
+//	curl -s localhost:8080/v1/solve -d '{"problem":"poisson7","n":20}'
+//	curl -s 'localhost:8080/v1/solve?stream=1' -d '{"problem":"poisson125","n":24}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("solverd: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		queue      = flag.Int("queue", 64, "submission queue depth (full queue → 429)")
+		workers    = flag.Int("workers", 0, "solve workers (0 = kernel-pool size)")
+		cache      = flag.Int("cache", 8, "resident operator cache entries (LRU)")
+		maxRuntime = flag.Duration("max-runtime", 2*time.Minute, "default per-job budget")
+		drainFor   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
+		load       = flag.String("load", "", "comma-separated MatrixMarket files (.mtx, .mtx.gz) to register at boot")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		QueueDepth:    *queue,
+		Workers:       *workers,
+		CacheEntries:  *cache,
+		MaxJobRuntime: *maxRuntime,
+	})
+	if *load != "" {
+		for _, path := range strings.Split(*load, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			name, err := s.Registry.RegisterFile(path)
+			if err != nil {
+				log.Fatalf("load %s: %v", path, err)
+			}
+			log.Printf("registered %q from %s", name, path)
+		}
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", l.Addr())
+
+	// SIGTERM/SIGINT → drain: admissions close (new submissions get 503),
+	// queued and running jobs finish or are cancelled against the budget,
+	// final metrics are flushed to the log.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case got := <-sig:
+		log.Printf("%s: draining (budget %s)", got, *drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -105,6 +105,14 @@ type Options struct {
 	// forever on a lost collective, the solver returns the backend's typed
 	// error. 0 means wait indefinitely.
 	WaitDeadline time.Duration
+	// Progress, when non-nil, is invoked after every convergence check with
+	// the history point just recorded — the live-streaming hook a serving
+	// layer uses to emit per-iteration events without waiting for Result.
+	// It runs on the solver goroutine and must be cheap and non-blocking;
+	// it observes the solve and must not mutate it. On an SPMD runtime every
+	// rank calls it, so a process-wide consumer should install it on one
+	// rank only.
+	Progress func(HistPoint)
 }
 
 // Defaults returns the options the paper's experiments use: rtol 1e-5, s=3,
@@ -155,6 +163,8 @@ type monitor struct {
 	// on ill-conditioned systems past their attainable accuracy.
 	bestRel  float64
 	diverged bool
+	// progress is Options.Progress: the per-check streaming callback.
+	progress func(HistPoint)
 }
 
 // divergeFactor is how far above its best value the relative residual may
@@ -170,6 +180,7 @@ func newMonitor(e engine.Engine, b []float64, opt Options) *monitor {
 		e:    e,
 		rtol: opt.RelTol, atol: opt.AbsTol, bnorm: math.Sqrt(buf[0]),
 		window: opt.StagnationWindow, factor: opt.StagnationFactor,
+		progress: opt.Progress,
 	}
 }
 
@@ -186,6 +197,9 @@ func (m *monitor) check(norm float64, iter int) (stop, converged bool) {
 		ridx = m.e.Counters().TotalAllreduces()
 	}
 	m.hist = append(m.hist, HistPoint{Iteration: iter, RelRes: rel, ReduceIndex: ridx})
+	if m.progress != nil {
+		m.progress(m.hist[len(m.hist)-1])
+	}
 	if math.IsNaN(norm) || math.IsInf(norm, 0) {
 		m.diverged = true
 		return true, false

@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/krylov"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+// cancelPanic unwinds a solver whose job context ended. The engine interface
+// has no error returns on kernels, so cancellation travels the same way the
+// comm fabric's fault errors do: a typed panic recovered at the job (or
+// rank) boundary.
+type cancelPanic struct{ err error }
+
+// cancelEngine wraps an engine so every kernel call observes the job
+// context: SpMV, ApplyPC and both reductions poll ctx and unwind with a
+// cancelPanic once it is done. Cancellation therefore lands within one
+// solver iteration. The wrapper adds no arithmetic — the numerics (and the
+// bit-identity guarantee against the CLI path) are untouched.
+type cancelEngine struct {
+	engine.Engine
+	ctx context.Context
+}
+
+func (e *cancelEngine) poll() {
+	select {
+	case <-e.ctx.Done():
+		panic(cancelPanic{e.ctx.Err()})
+	default:
+	}
+}
+
+func (e *cancelEngine) SpMV(dst, src []float64) { e.poll(); e.Engine.SpMV(dst, src) }
+
+func (e *cancelEngine) ApplyPC(dst, src []float64) { e.poll(); e.Engine.ApplyPC(dst, src) }
+
+func (e *cancelEngine) AllreduceSum(buf []float64) { e.poll(); e.Engine.AllreduceSum(buf) }
+
+func (e *cancelEngine) IallreduceSum(buf []float64) engine.Request {
+	e.poll()
+	return e.Engine.IallreduceSum(buf)
+}
+
+// XHash is the FNV-1a 64 digest of an iterate's raw float64 bits — the
+// bit-identity fingerprint the service returns with every result, so a
+// client can compare a daemon solve against a CLI solve without shipping
+// the vector.
+func XHash(x []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// solverFor resolves a method name, adding the resilience ladder to the
+// standard registry under "ladder".
+func solverFor(name string) (krylov.Solver, error) {
+	if name == "ladder" {
+		return krylov.SolveLadder, nil
+	}
+	return bench.Solver(name)
+}
+
+// run executes one accepted job end to end: pin the operator, check a
+// preconditioner out of its pool, solve under the job deadline, classify the
+// outcome, and fold the job's counters into the service aggregate.
+func (m *Manager) run(j *Job) {
+	defer func() { m.met.ObserveLatency(time.Since(j.submitted).Seconds()) }()
+
+	timeout := m.cfg.MaxJobRuntime
+	if j.Req.TimeoutMS > 0 {
+		timeout = time.Duration(j.Req.TimeoutMS) * time.Millisecond
+	}
+	// The budget is per job, not per solve: time spent waiting in the queue
+	// counts, so an overloaded service sheds deadline-blown work instead of
+	// running it late.
+	ctx, cancelTimeout := context.WithDeadline(j.ctx, j.submitted.Add(timeout))
+	defer cancelTimeout()
+
+	// A job cancelled while queued never touches the registry.
+	if ctx.Err() != nil {
+		m.finishJob(j, JobCanceled, nil, ctx.Err())
+		return
+	}
+
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+	j.emit(Event{Type: "start", Job: j.ID, State: JobRunning, Method: j.Req.Method})
+
+	entry, err := m.reg.Acquire(j.Req.ProblemSpec)
+	if err != nil {
+		m.finishJob(j, JobFailed, nil, err)
+		return
+	}
+	defer m.reg.Release(entry)
+	pr := entry.Problem()
+
+	solver, err := solverFor(j.Req.Method)
+	if err != nil {
+		m.finishJob(j, JobFailed, nil, err)
+		return
+	}
+
+	opt := bench.DefaultOptions(pr)
+	opt.S = j.Req.S
+	opt.MaxIter = j.Req.MaxIter
+	if j.Req.RelTol > 0 {
+		opt.RelTol = j.Req.RelTol
+	}
+	// Per-iteration progress events carry the recovery ledger alongside the
+	// residual, so a stream shows degradation as it happens.
+	var progressEng engine.Engine
+	opt.Progress = func(hp krylov.HistPoint) {
+		ev := Event{Type: "progress", Job: j.ID,
+			Iteration: hp.Iteration, RelRes: hp.RelRes, ReduceIndex: hp.ReduceIndex}
+		if progressEng != nil {
+			ev.Recoveries = progressEng.Counters().RecoveryEvents()
+		}
+		j.emit(ev)
+	}
+
+	if j.Req.Ranks <= 1 {
+		m.runSeq(j, ctx, entry, pr, solver, opt, &progressEng)
+	} else {
+		m.runComm(j, ctx, entry, pr, solver, opt, &progressEng)
+	}
+}
+
+// runSeq executes the job on the sequential reference engine — the default
+// path, whose iterate is bit-identical to `pipescg -runtime seq`.
+func (m *Manager) runSeq(j *Job, ctx context.Context, entry *Entry, pr bench.Problem,
+	solver krylov.Solver, opt krylov.Options, progressEng *engine.Engine) {
+	var pc engine.Preconditioner
+	if !bench.Unpreconditioned(j.Req.Method) {
+		var err error
+		pc, err = entry.AcquirePC(j.Req.PC)
+		if err != nil {
+			m.finishJob(j, JobFailed, nil, err)
+			return
+		}
+		defer entry.ReleasePC(j.Req.PC, pc)
+	}
+
+	eng := engine.NewSeq(pr.A, pc)
+	*progressEng = eng
+	wrapped := &cancelEngine{Engine: eng, ctx: ctx}
+
+	res, err := m.solveRecovering(wrapped, pr.B, solver, opt)
+	j.mu.Lock()
+	j.counters = *eng.Counters()
+	j.mu.Unlock()
+	m.met.AddCounters(eng.Counters())
+	m.classify(j, ctx, res, err)
+}
+
+// runComm executes the job on the in-process goroutine-rank runtime: the
+// entry's cached nnz-balanced partition, a fresh fabric, rank-local
+// preconditioners, and the shared kernel pool underneath. The fabric gets a
+// receive deadline and the solver a wait deadline so a rank unwound by
+// cancellation can never deadlock its peers.
+func (m *Manager) runComm(j *Job, ctx context.Context, entry *Entry, pr bench.Problem,
+	solver krylov.Solver, opt krylov.Options, progressEng *engine.Engine) {
+	var factory comm.PCFactory
+	if !bench.Unpreconditioned(j.Req.Method) {
+		switch j.Req.PC {
+		case "", "none":
+		case "jacobi":
+			factory = func(a *sparse.CSR, lo, hi int) engine.Preconditioner {
+				return precond.NewJacobi(a, lo, hi)
+			}
+		case "sor":
+			factory = func(a *sparse.CSR, lo, hi int) engine.Preconditioner {
+				return precond.NewSSOR(a, lo, hi, 1.0, 1)
+			}
+		default:
+			m.finishJob(j, JobFailed, nil,
+				fmt.Errorf("serve: ranks>1 supports rank-local PCs only (jacobi, sor, none), got %q", j.Req.PC))
+			return
+		}
+	}
+	ranks := j.Req.Ranks
+	pt := entry.Partition(ranks)
+	f := comm.NewFabric(ranks, 0).WithRecvTimeout(2*time.Second, 3)
+	engines := comm.NewEngines(f, pr.A, pt, factory)
+	bs := comm.Scatter(pt, pr.B)
+	opt.WaitDeadline = 10 * time.Second
+	*progressEng = engines[0]
+
+	// Only rank 0 streams progress; the checks are collective-consistent, so
+	// one rank's view is the job's view.
+	rankOpts := make([]krylov.Options, ranks)
+	for r := range rankOpts {
+		rankOpts[r] = opt
+		if r != 0 {
+			rankOpts[r].Progress = nil
+		}
+	}
+
+	results := make([]*krylov.Result, ranks)
+	errs := comm.RunErr(engines, func(r int, e *comm.Engine) error {
+		wrapped := &cancelEngine{Engine: e, ctx: ctx}
+		res, err := m.solveRecovering(wrapped, bs[r], solver, rankOpts[r])
+		results[r] = res
+		return err
+	})
+
+	agg := engines[0].Counters()
+	j.mu.Lock()
+	j.counters = *agg
+	j.mu.Unlock()
+	// Service-level aggregate folds every rank's counters.
+	for _, e := range engines {
+		m.met.AddCounters(e.Counters())
+	}
+	if err := f.Close(); err != nil {
+		// A cancelled SPMD solve legitimately leaves mailbox entries behind;
+		// count it, don't fail the drain.
+		m.met.fabricLeaks.Add(1)
+	}
+
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	res := results[0]
+	if res != nil && firstErr == nil {
+		// Return the assembled global iterate on the job result.
+		xs := make([][]float64, ranks)
+		for r := range xs {
+			if results[r] == nil {
+				res = nil
+				break
+			}
+			xs[r] = results[r].X
+		}
+		if res != nil {
+			assembled := *results[0]
+			assembled.X = comm.Gather(pt, xs)
+			res = &assembled
+		}
+	}
+	m.classify(j, ctx, res, firstErr)
+}
+
+// solveRecovering invokes the solver, converting a cancellation unwind back
+// into an error. Other panics propagate (seq path) or are captured by
+// comm.RunErr (comm path).
+func (m *Manager) solveRecovering(e engine.Engine, b []float64, solver krylov.Solver,
+	opt krylov.Options) (res *krylov.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			cp, ok := p.(cancelPanic)
+			if !ok {
+				panic(p)
+			}
+			res, err = nil, cp.err
+		}
+	}()
+	return solver(e, b, opt)
+}
+
+// classify maps a solve outcome onto the job's terminal state and emits the
+// result event.
+func (m *Manager) classify(j *Job, ctx context.Context, res *krylov.Result, err error) {
+	switch {
+	case ctx.Err() != nil:
+		m.finishJob(j, JobCanceled, res, ctx.Err())
+	case err != nil:
+		m.finishJob(j, JobFailed, res, err)
+	case res != nil && res.Converged:
+		m.finishJob(j, JobConverged, res, nil)
+	default:
+		m.finishJob(j, JobFailed, res, fmt.Errorf("serve: solve ended without convergence"))
+	}
+}
+
+// finishJob records the terminal state, tallies metrics and emits the result
+// event (with the iterate's bit-fingerprint, and the iterate itself when the
+// submission asked for it).
+func (m *Manager) finishJob(j *Job, state JobState, res *krylov.Result, err error) {
+	ev := Event{Type: "result", Job: j.ID, State: state}
+	if res != nil {
+		ev.Method = res.Method
+		ev.Converged = res.Converged
+		ev.Iterations = res.Iterations
+		ev.RelRes = res.RelRes
+		if res.X != nil {
+			ev.XHash = XHash(res.X)
+			if j.Req.IncludeX {
+				ev.X = res.X
+			}
+		}
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.mu.Lock()
+	j.res, j.err = res, err
+	j.mu.Unlock()
+	m.met.countJob(state)
+	j.finish(state, ev)
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// routes mounts the HTTP API:
+//
+//	POST /v1/solve            submit and wait; ?stream=1 streams NDJSON events
+//	POST /v1/jobs             submit asynchronously → 202 {"id": ...}
+//	GET  /v1/jobs             list retained jobs
+//	GET  /v1/jobs/{id}        job status
+//	GET  /v1/jobs/{id}/events NDJSON event stream (replay + live)
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /v1/matrices         registry listing (residents + uploads)
+//	PUT  /v1/matrices/{name}  upload a MatrixMarket body (plain or gzip)
+//	GET  /healthz             liveness; 503 while draining
+//	GET  /metrics             Prometheus text format
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleMatrices)
+	s.mux.HandleFunc("PUT /v1/matrices/{name}", s.handleUpload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// apiError is the JSON error envelope.
+func apiError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// submit decodes a SolveRequest and applies admission control, translating
+// the manager's typed errors into 429 + Retry-After (queue full) and 503
+// (draining).
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		apiError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	if req.Problem == "" {
+		apiError(w, http.StatusBadRequest, "missing \"problem\"")
+		return nil, false
+	}
+	j, err := s.Jobs.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Retry after roughly one queued job's drain time; 1s floor keeps
+		// clients from hammering.
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+		apiError(w, http.StatusTooManyRequests, "%v", err)
+		return nil, false
+	case errors.Is(err, ErrDraining):
+		apiError(w, http.StatusServiceUnavailable, "%v", err)
+		return nil, false
+	case err != nil:
+		apiError(w, http.StatusInternalServerError, "%v", err)
+		return nil, false
+	}
+	return j, true
+}
+
+// handleSolve is the synchronous path: submit, then either stream every
+// event (chunked NDJSON, flushed per event) or block until the terminal
+// result and return it as one JSON object.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.submit(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("stream") != "" {
+		s.streamJob(w, r, j)
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// Client went away: the job keeps running (it is accepted work),
+		// the response is abandoned.
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobStatus(j, true))
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.submit(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "state": string(j.State())})
+}
+
+// JobStatus is the query-side view of a job.
+type JobStatus struct {
+	ID         string       `json:"id"`
+	State      JobState     `json:"state"`
+	Request    SolveRequest `json:"request"`
+	Method     string       `json:"method,omitempty"`
+	Converged  bool         `json:"converged"`
+	Iterations int          `json:"iterations,omitempty"`
+	RelRes     float64      `json:"relres,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	XHash      string       `json:"x_hash,omitempty"`
+	X          []float64    `json:"x,omitempty"`
+	Counters   any          `json:"counters,omitempty"`
+}
+
+func (s *Server) jobStatus(j *Job, includeCounters bool) JobStatus {
+	st := JobStatus{ID: j.ID, State: j.State(), Request: j.Req}
+	res, err := j.Result()
+	if res != nil {
+		st.Method = res.Method
+		st.Converged = res.Converged
+		st.Iterations = res.Iterations
+		st.RelRes = res.RelRes
+		if res.X != nil {
+			st.XHash = XHash(res.X)
+			if j.Req.IncludeX {
+				st.X = res.X
+			}
+		}
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	if includeCounters {
+		c := j.Counters()
+		st.Counters = &c
+	}
+	return st
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs.List()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, s.jobStatus(j, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) *Job {
+	j := s.Jobs.Get(r.PathValue("id"))
+	if j == nil {
+		apiError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFromPath(w, r); j != nil {
+		writeJSON(w, http.StatusOK, s.jobStatus(j, true))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFromPath(w, r); j != nil {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, map[string]string{"id": j.ID, "state": string(j.State())})
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFromPath(w, r); j != nil {
+		s.streamJob(w, r, j)
+	}
+}
+
+// streamJob writes the job's events as chunked NDJSON — one JSON object per
+// line, flushed per event — until the terminal result event (the last line)
+// or client disconnect.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	events, cancel := j.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// MatricesResponse lists the registry state.
+type MatricesResponse struct {
+	Builtin  []string       `json:"builtin"`
+	Uploads  []string       `json:"uploads"`
+	Resident []EntrySummary `json:"resident"`
+}
+
+func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MatricesResponse{
+		Builtin:  []string{"poisson125", "poisson7", "ecology2", "thermal2", "serena"},
+		Uploads:  s.Registry.Uploads(),
+		Resident: s.Registry.Summaries(),
+	})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rows, nnz, err := s.Registry.RegisterUpload(name, http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "n": rows, "nnz": nnz})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	status := "ok"
+	if s.Jobs.Draining() {
+		code, status = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"queued":   s.Jobs.QueueDepth(),
+		"inflight": s.Jobs.InFlight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.Metrics.WritePrometheus(w, s.Jobs, s.Registry)
+}

@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/krylov"
+	"repro/internal/trace"
+)
+
+// SolveRequest is a job submission. Zero fields take solver defaults: method
+// "ladder" (the PR-2 resilience ladder — degrade, don't fail), PC "jacobi",
+// s=3, the problem's paper tolerance, MaxIter 100000, one rank (the
+// sequential engine; Ranks > 1 runs the goroutine-rank comm runtime
+// in-process on the entry's cached partition).
+type SolveRequest struct {
+	ProblemSpec
+	Method    string  `json:"method,omitempty"`
+	PC        string  `json:"pc,omitempty"`
+	S         int     `json:"s,omitempty"`
+	RelTol    float64 `json:"rtol,omitempty"`
+	MaxIter   int     `json:"maxiter,omitempty"`
+	Ranks     int     `json:"ranks,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	// IncludeX asks for the full solution vector in the result event.
+	// encoding/json round-trips float64 exactly, so the received iterate is
+	// bit-identical to the solver's.
+	IncludeX bool `json:"include_x,omitempty"`
+}
+
+func (r SolveRequest) withDefaults() SolveRequest {
+	if r.Method == "" {
+		r.Method = "ladder"
+	}
+	if r.PC == "" {
+		r.PC = "jacobi"
+	}
+	if r.S <= 0 {
+		r.S = 3
+	}
+	if r.MaxIter <= 0 {
+		r.MaxIter = 100000
+	}
+	if r.Ranks <= 0 {
+		r.Ranks = 1
+	}
+	return r
+}
+
+// JobState is a job's lifecycle phase. Terminal states are JobConverged,
+// JobFailed and JobCanceled; every accepted job reaches exactly one of them.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobConverged JobState = "converged"
+	JobFailed    JobState = "failed"
+	JobCanceled  JobState = "canceled"
+)
+
+// Event is one NDJSON line of a job's progress stream.
+type Event struct {
+	Type string `json:"type"` // queued | start | progress | result
+	Job  string `json:"job"`
+
+	// progress fields
+	Iteration   int     `json:"iteration,omitempty"`
+	RelRes      float64 `json:"relres,omitempty"`
+	ReduceIndex int     `json:"reduce_index,omitempty"`
+	// Recoveries mirrors trace.Counters.RecoveryEvents() at the time of the
+	// check — a step in this series marks a recovery event.
+	Recoveries int `json:"recoveries,omitempty"`
+
+	// result fields
+	State      JobState  `json:"state,omitempty"`
+	Method     string    `json:"method,omitempty"`
+	Converged  bool      `json:"converged,omitempty"`
+	Iterations int       `json:"iterations,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	XHash      string    `json:"x_hash,omitempty"`
+	X          []float64 `json:"x,omitempty"`
+}
+
+// maxRetainedEvents bounds the per-job event ring replayed to late
+// subscribers; live subscribers see every event their channel keeps up with.
+const maxRetainedEvents = 1024
+
+// Job is one accepted solve.
+type Job struct {
+	ID  string       `json:"id"`
+	Req SolveRequest `json:"request"`
+
+	mu       sync.Mutex
+	state    JobState
+	events   []Event // ring of the most recent events
+	dropped  int     // ring overwrites
+	subs     map[chan Event]struct{}
+	res      *krylov.Result
+	err      error
+	counters trace.Counters
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	submitted time.Time
+	done      chan struct{}
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the solver result and error once the job is done.
+func (j *Job) Result() (*krylov.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+// Counters returns the job's kernel counters (complete once done).
+func (j *Job) Counters() trace.Counters {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.counters
+}
+
+// Cancel asks a queued or running job to stop; it ends in JobCanceled.
+func (j *Job) Cancel() { j.cancel() }
+
+// emit records ev in the ring and fans it out to subscribers without
+// blocking: a subscriber that falls behind loses progress events, never the
+// terminal result (Subscribe replays the ring, and the result is always
+// retained as the final ring entry).
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	if len(j.events) >= maxRetainedEvents {
+		copy(j.events, j.events[1:])
+		j.events = j.events[:len(j.events)-1]
+		j.dropped++
+	}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Subscribe returns a channel that first replays the retained events and
+// then delivers live ones; call the returned cancel to unsubscribe. The
+// channel is closed after the terminal result event is delivered.
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, maxRetainedEvents+64)
+	j.mu.Lock()
+	for _, ev := range j.events {
+		ch <- ev // buffered at ring capacity: cannot block
+	}
+	terminal := j.state == JobConverged || j.state == JobFailed || j.state == JobCanceled
+	if terminal {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	if j.subs == nil {
+		j.subs = map[chan Event]struct{}{}
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// finish moves the job to its terminal state, emits the result event and
+// closes every subscriber.
+func (j *Job) finish(state JobState, ev Event) {
+	j.mu.Lock()
+	j.state = state
+	if len(j.events) >= maxRetainedEvents {
+		copy(j.events, j.events[1:])
+		j.events = j.events[:len(j.events)-1]
+	}
+	j.events = append(j.events, ev)
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for ch := range subs {
+		// The result must arrive even on a full channel; the buffer is
+		// sized past the ring, so this cannot block a well-formed
+		// subscriber, and a torn-down one is drained by its canceler.
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+	}
+	close(j.done)
+}
+
+// Submission errors, mapped by the HTTP plane to 429 and 503.
+var (
+	ErrQueueFull = errors.New("serve: submission queue full")
+	ErrDraining  = errors.New("serve: draining, not accepting jobs")
+)
+
+// Manager owns the bounded submission queue and the solve worker pool.
+type Manager struct {
+	cfg   Config
+	reg   *Registry
+	met   *Metrics
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and retention
+	nextID int
+
+	inflight  sync.WaitGroup // queued + running jobs
+	workersWG sync.WaitGroup
+	running   chan struct{} // semaphore-as-gauge: len == running jobs
+
+	drainMu  sync.Mutex
+	draining bool
+	quit     chan struct{}
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg Config, reg *Registry, met *Metrics) *Manager {
+	m := &Manager{
+		cfg:     cfg,
+		reg:     reg,
+		met:     met,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    map[string]*Job{},
+		running: make(chan struct{}, cfg.Workers),
+		quit:    make(chan struct{}),
+	}
+	m.workersWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// InFlight returns the number of jobs currently executing.
+func (m *Manager) InFlight() int { return len(m.running) }
+
+// Workers returns the worker-pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Draining reports whether admissions are closed.
+func (m *Manager) Draining() bool {
+	m.drainMu.Lock()
+	defer m.drainMu.Unlock()
+	return m.draining
+}
+
+// Submit applies admission control and enqueues the job: ErrDraining during
+// shutdown, ErrQueueFull when the bounded queue has no room (the HTTP plane
+// maps these to 503 and 429 + Retry-After).
+func (m *Manager) Submit(req SolveRequest) (*Job, error) {
+	req = req.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		Req:       req,
+		state:     JobQueued,
+		ctx:       ctx,
+		cancel:    cancel,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	m.mu.Lock()
+	m.nextID++
+	j.ID = fmt.Sprintf("job-%d", m.nextID)
+	m.mu.Unlock()
+
+	// The draining check and the enqueue are one critical section against
+	// Drain: once Drain observes `draining` set, no submission can slip into
+	// the queue behind its inflight.Wait and be orphaned by the stopping
+	// worker pool.
+	m.drainMu.Lock()
+	if m.draining {
+		m.drainMu.Unlock()
+		cancel()
+		m.met.jobsDrained.Add(1)
+		return nil, ErrDraining
+	}
+	m.inflight.Add(1)
+	select {
+	case m.queue <- j:
+	default:
+		m.inflight.Done()
+		m.drainMu.Unlock()
+		cancel()
+		m.met.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.drainMu.Unlock()
+
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.trimLocked()
+	m.mu.Unlock()
+	j.emit(Event{Type: "queued", Job: j.ID, State: JobQueued})
+	return j, nil
+}
+
+// trimLocked drops the oldest finished jobs beyond the retention bound.
+func (m *Manager) trimLocked() {
+	for len(m.order) > m.cfg.RetainJobs {
+		id := m.order[0]
+		j := m.jobs[id]
+		if j != nil {
+			if st := j.State(); st == JobQueued || st == JobRunning {
+				return // never forget a live job
+			}
+			delete(m.jobs, id)
+		}
+		m.order = m.order[1:]
+	}
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// List returns retained jobs in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j := m.jobs[id]; j != nil {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (m *Manager) worker() {
+	defer m.workersWG.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case j := <-m.queue:
+			m.running <- struct{}{}
+			if m.cfg.testHookBeforeRun != nil {
+				m.cfg.testHookBeforeRun(j)
+			}
+			m.run(j)
+			<-m.running
+			m.inflight.Done()
+		}
+	}
+}
+
+// Drain closes admissions, waits for queued and running jobs to finish until
+// ctx expires, then cancels the stragglers and waits for them to unwind, and
+// finally stops the workers. Idempotent.
+func (m *Manager) Drain(ctx context.Context) {
+	m.drainMu.Lock()
+	if m.draining {
+		m.drainMu.Unlock()
+		m.workersWG.Wait()
+		return
+	}
+	m.draining = true
+	m.drainMu.Unlock()
+
+	finished := make(chan struct{})
+	go func() { m.inflight.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		// Deadline: cancel everything still alive. Cancellation reaches the
+		// solver through the engine wrapper at its next kernel call, so the
+		// jobs unwind promptly; wait for them.
+		for _, j := range m.List() {
+			if st := j.State(); st == JobQueued || st == JobRunning {
+				j.Cancel()
+			}
+		}
+		<-finished
+	}
+	close(m.quit)
+	m.workersWG.Wait()
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// latencyBuckets are the request-latency histogram bounds in seconds
+// (cumulative, Prometheus convention; +Inf is implicit).
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// histogram is a fixed-bucket latency histogram in Prometheus semantics.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // one per bucket, non-cumulative; +Inf is counts[len]
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+	h.mu.Unlock()
+}
+
+// write emits the histogram as <name>_bucket/_sum/_count series.
+func (h *histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	var cum uint64
+	for i, le := range latencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}
+
+// Metrics is the service-level ledger the /metrics plane serves. Job
+// outcomes, admission rejections and cache traffic are atomics; the kernel
+// aggregate merges each finished job's trace.Counters via Counters.Add.
+type Metrics struct {
+	jobsConverged atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsRejected  atomic.Int64 // queue-full 429s
+	jobsDrained   atomic.Int64 // 503s during drain
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+
+	fabricLeaks atomic.Int64 // comm-mode jobs whose fabric closed dirty (cancellation)
+
+	latency *histogram
+
+	mu      sync.Mutex
+	kernels trace.Counters // aggregate over finished jobs
+}
+
+// NewMetrics builds an empty ledger.
+func NewMetrics() *Metrics { return &Metrics{latency: newHistogram()} }
+
+// AddCounters folds one finished job's kernel counters into the aggregate.
+func (m *Metrics) AddCounters(c *trace.Counters) {
+	m.mu.Lock()
+	m.kernels.Add(c)
+	m.mu.Unlock()
+}
+
+// ObserveLatency records one job's end-to-end latency (submit to finish).
+func (m *Metrics) ObserveLatency(seconds float64) { m.latency.Observe(seconds) }
+
+// countJob tallies a finished job's outcome.
+func (m *Metrics) countJob(state JobState) {
+	switch state {
+	case JobConverged:
+		m.jobsConverged.Add(1)
+	case JobCanceled:
+		m.jobsCanceled.Add(1)
+	default:
+		m.jobsFailed.Add(1)
+	}
+}
+
+// WritePrometheus renders the full scrape: service gauges (queue depth,
+// in-flight, registry size read live from mgr and reg), job outcome totals,
+// cache traffic, the latency histogram, and the kernel-counter aggregate in
+// trace's stable serialization.
+func (m *Metrics) WritePrometheus(w io.Writer, mgr *Manager, reg *Registry) {
+	fmt.Fprintf(w, "# HELP solverd_queue_depth Jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE solverd_queue_depth gauge\n")
+	fmt.Fprintf(w, "solverd_queue_depth %d\n", mgr.QueueDepth())
+	fmt.Fprintf(w, "# TYPE solverd_inflight_jobs gauge\n")
+	fmt.Fprintf(w, "solverd_inflight_jobs %d\n", mgr.InFlight())
+	fmt.Fprintf(w, "# TYPE solverd_workers gauge\n")
+	fmt.Fprintf(w, "solverd_workers %d\n", mgr.Workers())
+	fmt.Fprintf(w, "# TYPE solverd_draining gauge\n")
+	fmt.Fprintf(w, "solverd_draining %d\n", b2i(mgr.Draining()))
+	fmt.Fprintf(w, "# TYPE solverd_registry_entries gauge\n")
+	fmt.Fprintf(w, "solverd_registry_entries %d\n", reg.Len())
+
+	fmt.Fprintf(w, "# TYPE solverd_jobs_total counter\n")
+	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"converged\"} %d\n", m.jobsConverged.Load())
+	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"canceled\"} %d\n", m.jobsCanceled.Load())
+	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"rejected\"} %d\n", m.jobsRejected.Load())
+	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"drained\"} %d\n", m.jobsDrained.Load())
+
+	fmt.Fprintf(w, "# TYPE solverd_registry_hits_total counter\n")
+	fmt.Fprintf(w, "solverd_registry_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "solverd_registry_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "solverd_registry_evictions_total %d\n", m.cacheEvictions.Load())
+	fmt.Fprintf(w, "solverd_fabric_leaks_total %d\n", m.fabricLeaks.Load())
+
+	fmt.Fprintf(w, "# TYPE solverd_request_seconds histogram\n")
+	m.latency.write(w, "solverd_request_seconds")
+
+	fmt.Fprintf(w, "# HELP solverd_kernel_* Kernel-counter aggregate over finished jobs (trace.Counters).\n")
+	m.mu.Lock()
+	snap := m.kernels
+	m.mu.Unlock()
+	snap.WritePrometheus(w, "solverd_kernel", "")
+}
+
+// Snapshot is the one-line drain summary flushed through the service log.
+func (m *Metrics) Snapshot(mgr *Manager, reg *Registry) string {
+	m.mu.Lock()
+	k := m.kernels
+	m.mu.Unlock()
+	return fmt.Sprintf(
+		"jobs{converged=%d failed=%d canceled=%d rejected=%d drained=%d} cache{hits=%d misses=%d evictions=%d entries=%d} kernels{%s} recovery{%s}",
+		m.jobsConverged.Load(), m.jobsFailed.Load(), m.jobsCanceled.Load(),
+		m.jobsRejected.Load(), m.jobsDrained.Load(),
+		m.cacheHits.Load(), m.cacheMisses.Load(), m.cacheEvictions.Load(), reg.Len(),
+		k.String(), k.RecoveryString())
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,169 @@
+// Package serve is the solver-as-a-service layer: a stdlib-only HTTP daemon
+// that keeps operators (matrix + partition + preconditioner) resident across
+// solves and executes jobs against them under admission control.
+//
+// The one-shot CLIs (cmd/pipescg, cmd/chaos) rebuild everything per run; the
+// regime the paper's pipelined s-step methods target — solves issued
+// continuously against long-lived operators, as in PIPELCG-style persistent
+// solver contexts — needs the opposite: build once, solve many. The package
+// owns four concerns:
+//
+//   - Registry: named problems (synth grids, MatrixMarket uploads — plain or
+//     gzipped) built once, partitioned once, preconditioners set up once, in
+//     an LRU cache with refcounts so in-flight jobs pin their operator.
+//   - Manager: a bounded submission queue with admission control (reject
+//     with 429 + Retry-After when full), a worker pool sized against the
+//     process-wide kernel pool (internal/par), per-job timeouts/cancellation
+//     wired into the solver's deadline-aware waits, and krylov.SolveLadder
+//     as the default execution engine so faulty jobs degrade instead of
+//     failing.
+//   - Streaming + metrics: per-job progress as chunked NDJSON events
+//     (iteration, relres, recovery ledger), /healthz, and /metrics in
+//     Prometheus text format (trace.Counters aggregates, queue depth,
+//     in-flight jobs, cache hits/evictions, request latency histogram).
+//   - Graceful drain: SIGTERM (handled by cmd/solverd) stops admissions,
+//     finishes or cancels in-flight jobs against a deadline, and flushes
+//     final metrics.
+//
+// Numerics are untouched: a job executed through the daemon runs the same
+// solver on the same engine as the CLI path and produces a bit-identical
+// iterate (asserted by TestServeBitIdentical).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Config sizes the service. The zero value is usable: every field falls back
+// to the documented default.
+type Config struct {
+	// QueueDepth bounds the submission queue; a full queue rejects with
+	// 429 + Retry-After. Default 64.
+	QueueDepth int
+	// Workers is the solve worker-pool size. Concurrent solves share the
+	// process-wide kernel pool (internal/par serializes parallel regions),
+	// so extra workers add concurrency without oversubscribing cores; the
+	// default is the kernel pool's worker count, one solver goroutine per
+	// kernel worker.
+	Workers int
+	// CacheEntries bounds the registry's resident operators (LRU, pinned
+	// entries excepted). Default 8.
+	CacheEntries int
+	// MaxJobRuntime caps a job that did not request its own timeout.
+	// Default 2 minutes.
+	MaxJobRuntime time.Duration
+	// RetainJobs bounds how many finished jobs stay queryable. Default 512.
+	RetainJobs int
+	// Logf receives service logs; nil means log.Printf.
+	Logf func(format string, args ...any)
+
+	// testHookBeforeRun, when set by in-package tests, runs in the worker
+	// just before a job executes — a deterministic way to hold the pool busy
+	// for admission-control and timeout tests.
+	testHookBeforeRun func(*Job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = par.Workers()
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 8
+	}
+	if c.MaxJobRuntime <= 0 {
+		c.MaxJobRuntime = 2 * time.Minute
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 512
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server ties the registry, job manager and HTTP plane together.
+type Server struct {
+	cfg      Config
+	Registry *Registry
+	Jobs     *Manager
+	Metrics  *Metrics
+	mux      *http.ServeMux
+	hs       *http.Server
+}
+
+// New builds a stopped server; call Serve (or mount Handler) to run it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := NewMetrics()
+	reg := NewRegistry(cfg.CacheEntries, met)
+	s := &Server{
+		cfg:      cfg,
+		Registry: reg,
+		Metrics:  met,
+		Jobs:     NewManager(cfg, reg, met),
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve runs the HTTP server on l until Drain (or a listener error). It owns
+// the http.Server so Drain can shut it down.
+func (s *Server) Serve(l net.Listener) error {
+	s.hs = &http.Server{Handler: s.mux}
+	err := s.hs.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Drain is the graceful-shutdown sequence: stop admissions (new submissions
+// get 503), let queued and running jobs finish until ctx expires, cancel
+// whatever is still in flight and wait for it to unwind, stop the workers,
+// shut the HTTP server down, and flush final metrics through Config.Logf.
+// Drain is idempotent; concurrent calls share the same shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.Jobs.Drain(ctx)
+	var err error
+	if s.hs != nil {
+		// Jobs are done or cancelled; give in-flight HTTP responses (event
+		// streams flushing their tail) a short bounded window.
+		hctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err = s.hs.Shutdown(hctx)
+	}
+	s.flushFinalMetrics()
+	return err
+}
+
+// flushFinalMetrics logs the end-of-life counter snapshot — the drain
+// contract's "flush": the totals survive in the process log even when the
+// scraper missed the last interval.
+func (s *Server) flushFinalMetrics() {
+	snap := s.Metrics.Snapshot(s.Jobs, s.Registry)
+	s.cfg.Logf("serve: final metrics: %s", snap)
+}
+
+// fmtDuration renders a Retry-After value in whole seconds, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	sec := int(d / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return fmt.Sprintf("%d", sec)
+}

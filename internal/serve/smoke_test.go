@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// TestServeSmoke is the end-to-end acceptance run: a real daemon on an
+// ephemeral port, 32 concurrent closed-loop clients over 4 distinct registry
+// entries, zero lost jobs (every submission ends converged, 429-rejected, or
+// canceled by its own deadline), a graceful drain, and no goroutine leaks.
+// `make serve-smoke` runs exactly this under the race detector.
+func TestServeSmoke(t *testing.T) {
+	// Warm the process-wide kernel pool before the baseline so its
+	// long-lived workers don't read as a leak.
+	par.Default()
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 4, QueueDepth: 8, CacheEntries: 3})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	// 4 distinct registry entries, deliberately one more than the cache cap
+	// so the LRU churns under load.
+	specs := []SolveRequest{
+		{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}},
+		{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 6}, Method: "pipe-pscg"},
+		{ProblemSpec: ProblemSpec{Problem: "poisson125", N: 8}, Method: "pcg"},
+		{ProblemSpec: ProblemSpec{Problem: "thermal2", Scale: 64}, Method: "pscg"},
+	}
+
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	const clients = 32
+	const jobsPerClient = 3
+	var converged, rejected, canceled, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < jobsPerClient; k++ {
+				req := specs[(c+k)%len(specs)]
+				if c%8 == 7 && k == 1 {
+					// A slice of the load carries a deliberately blown
+					// deadline: these must come back canceled, not lost.
+					req.TimeoutMS = 1
+				}
+				body, _ := json.Marshal(req)
+				resp, err := client.Post(url+"/v1/solve", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					other.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+					resp.Body.Close()
+				case http.StatusOK:
+					var st JobStatus
+					if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+						other.Add(1)
+					} else {
+						switch st.State {
+						case JobConverged:
+							converged.Add(1)
+						case JobCanceled:
+							canceled.Add(1)
+						default:
+							t.Errorf("client %d: unexpected terminal state %s (%s)", c, st.State, st.Error)
+							other.Add(1)
+						}
+					}
+					resp.Body.Close()
+				default:
+					t.Errorf("client %d: status %d", c, resp.StatusCode)
+					other.Add(1)
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := converged.Load() + rejected.Load() + canceled.Load() + other.Load()
+	if total != clients*jobsPerClient {
+		t.Fatalf("lost jobs: accounted %d of %d", total, clients*jobsPerClient)
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d jobs ended outside converged/429/canceled", other.Load())
+	}
+	if converged.Load() == 0 {
+		t.Fatal("no job converged under load")
+	}
+	t.Logf("smoke: %d converged, %d rejected(429), %d canceled-by-deadline",
+		converged.Load(), rejected.Load(), canceled.Load())
+
+	// Scrape /metrics once while alive: the service totals must account for
+	// every job the clients saw.
+	mr, err := client.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metricsBody strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := mr.Body.Read(buf)
+		metricsBody.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	mr.Body.Close()
+	out := metricsBody.String()
+	for _, want := range []string{
+		fmt.Sprintf(`solverd_jobs_total{outcome="converged"} %d`, converged.Load()),
+		fmt.Sprintf(`solverd_jobs_total{outcome="rejected"} %d`, rejected.Load()),
+		fmt.Sprintf(`solverd_jobs_total{outcome="canceled"} %d`, canceled.Load()),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful drain (cmd/solverd runs this on SIGTERM): admissions close,
+	// remaining work finishes, the HTTP server shuts down.
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Drain")
+	}
+	if q, r := s.Jobs.QueueDepth(), s.Jobs.InFlight(); q != 0 || r != 0 {
+		t.Fatalf("after drain: %d queued, %d running", q, r)
+	}
+
+	// No goroutine leaks: workers, rank goroutines and HTTP plumbing are all
+	// gone once idle connections close.
+	tr.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			break
+		}
+		if time.Now().After(deadline) {
+			var sb strings.Builder
+			pprof.Lookup("goroutine").WriteTo(&sb, 1)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s", runtime.NumGoroutine(), base, sb.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

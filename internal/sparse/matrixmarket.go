@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"strconv"
@@ -12,7 +13,25 @@ import (
 // Supported qualifiers: real/integer/pattern × general/symmetric. Symmetric
 // files are expanded to full storage (both triangles), matching how the
 // SuiteSparse collection stores SPD matrices such as ecology2 and thermal2.
+//
+// Gzip-compressed streams are handled transparently: the reader sniffs the
+// two-byte gzip magic (0x1f 0x8b), so `.mtx` and `.mtx.gz` files — the form
+// SuiteSparse distributes and service uploads arrive in — go through the
+// same call.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad gzip stream: %v", err)
+		}
+		defer gz.Close()
+		return readMatrixMarket(gz)
+	}
+	return readMatrixMarket(br)
+}
+
+func readMatrixMarket(r io.Reader) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"bytes"
+	"compress/gzip"
 	"math/rand"
 	"strings"
 	"testing"
@@ -81,6 +82,118 @@ func TestReadMatrixMarketErrors(t *testing.T) {
 		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+}
+
+// gzipped compresses a MatrixMarket source in memory.
+func gzipped(t *testing.T, src []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMatrixMarketRoundTripVariants pushes matrices of each supported
+// qualifier through Write → Read, plain and gzipped, and checks the dense
+// images agree. Pattern and symmetric inputs exercise the expansion edge
+// cases: Write emits the already-expanded general form, so the reread must
+// match the first parse exactly.
+func TestMatrixMarketRoundTripVariants(t *testing.T) {
+	sources := map[string]string{
+		"general": `%%MatrixMarket matrix coordinate real general
+3 3 4
+1 1 2.0
+1 3 1.0
+2 2 3.0
+3 1 4.0
+`,
+		// Symmetric with a diagonal entry (expanded once, not twice) and an
+		// off-diagonal entry (mirrored into both triangles).
+		"symmetric": `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 5.0
+3 1 -1.5
+2 2 0.25
+`,
+		// Pattern entries take value 1; integer values parse as floats.
+		"pattern": `%%MatrixMarket matrix coordinate pattern general
+2 3 3
+1 2
+2 1
+2 3
+`,
+		"integer": `%%MatrixMarket matrix coordinate integer symmetric
+2 2 2
+1 1 4
+2 1 -7
+`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			a, err := ReadMatrixMarket(strings.NewReader(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteMatrixMarket(&buf, a); err != nil {
+				t.Fatal(err)
+			}
+			plain := buf.Bytes()
+			for _, enc := range []struct {
+				form string
+				data []byte
+			}{{"plain", plain}, {"gzip", gzipped(t, plain)}} {
+				b, err := ReadMatrixMarket(bytes.NewReader(enc.data))
+				if err != nil {
+					t.Fatalf("%s reread: %v", enc.form, err)
+				}
+				if b.Rows != a.Rows || b.Cols != a.Cols || b.NNZ() != a.NNZ() {
+					t.Fatalf("%s reread shape %d×%d nnz %d, want %d×%d nnz %d",
+						enc.form, b.Rows, b.Cols, b.NNZ(), a.Rows, a.Cols, a.NNZ())
+				}
+				da, db := denseOf(a), denseOf(b)
+				for i := range da {
+					if da[i] != db[i] {
+						t.Fatalf("%s reread value mismatch at %d", enc.form, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReadMatrixMarketGzipDirect reads a gzipped original source (not a
+// rewrite) — the registry-upload path.
+func TestReadMatrixMarketGzipDirect(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 5.0
+2 1 -1.0
+`
+	a, err := ReadMatrixMarket(bytes.NewReader(gzipped(t, []byte(src))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 || a.At(0, 0) != 5 {
+		t.Fatal("gzip symmetric parse failed")
+	}
+}
+
+// TestReadMatrixMarketBadGzip: a valid magic followed by garbage must error,
+// not hang or panic.
+func TestReadMatrixMarketBadGzip(t *testing.T) {
+	if _, err := ReadMatrixMarket(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00, 0x01})); err == nil {
+		t.Fatal("want error for corrupt gzip stream")
+	}
+	// A 1-byte stream (shorter than the magic) is an ordinary parse error.
+	if _, err := ReadMatrixMarket(bytes.NewReader([]byte{0x1f})); err == nil {
+		t.Fatal("want error for truncated stream")
 	}
 }
 

@@ -4,7 +4,12 @@
 // applications per s iterations, FLOPS in VMAs and dot products).
 package trace
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
 
 // Counters accumulates kernel-level statistics for one solve.
 type Counters struct {
@@ -41,6 +46,131 @@ type Counters struct {
 
 // Reset zeroes all counters.
 func (c *Counters) Reset() { *c = Counters{} }
+
+// Add folds other into c field-by-field — the aggregation primitive that lets
+// a service merge per-job counters into process-level totals without copying
+// fields by hand. Every field of Counters is additive, so the merge is a
+// plain sum; TestCountersFieldCoverage fails the build's test run when a new
+// field is added here but not summed.
+func (c *Counters) Add(other *Counters) {
+	c.SpMV += other.SpMV
+	c.PCApply += other.PCApply
+	c.Allreduce += other.Allreduce
+	c.Iallreduce += other.Iallreduce
+	c.ReduceWords += other.ReduceWords
+	c.HaloExchanges += other.HaloExchanges
+	c.Flops += other.Flops
+	c.SpMVFlops += other.SpMVFlops
+	c.PCFlops += other.PCFlops
+	c.Iterations += other.Iterations
+	c.Recoveries += other.Recoveries
+	c.ResidualReplacements += other.ResidualReplacements
+	c.LadderStepdowns += other.LadderStepdowns
+	c.CommTimeouts += other.CommTimeouts
+	c.CommResends += other.CommResends
+	c.CommCorruptions += other.CommCorruptions
+}
+
+// Field is one serialized counter: a stable snake_case name (usable directly
+// as a JSON key or a Prometheus metric-name suffix) and its value.
+type Field struct {
+	Name  string
+	Value float64
+}
+
+// Fields returns every counter as an ordered name/value list — the single
+// source of truth for both JSON and Prometheus serialization. The order is
+// the struct declaration order and the names are frozen: dashboards and
+// scrape configs may depend on them. TestCountersFieldCoverage fails when a
+// Counters field is missing here.
+func (c *Counters) Fields() []Field {
+	return []Field{
+		{"spmv", float64(c.SpMV)},
+		{"pc_apply", float64(c.PCApply)},
+		{"allreduce", float64(c.Allreduce)},
+		{"iallreduce", float64(c.Iallreduce)},
+		{"reduce_words", float64(c.ReduceWords)},
+		{"halo_exchanges", float64(c.HaloExchanges)},
+		{"flops", c.Flops},
+		{"spmv_flops", c.SpMVFlops},
+		{"pc_flops", c.PCFlops},
+		{"iterations", float64(c.Iterations)},
+		{"recoveries", float64(c.Recoveries)},
+		{"residual_replacements", float64(c.ResidualReplacements)},
+		{"ladder_stepdowns", float64(c.LadderStepdowns)},
+		{"comm_timeouts", float64(c.CommTimeouts)},
+		{"comm_resends", float64(c.CommResends)},
+		{"comm_corruptions", float64(c.CommCorruptions)},
+	}
+}
+
+// fieldName maps a Counters struct field name to its serialized name in
+// Fields(). The test that keeps Fields() complete uses it; keeping the map
+// next to Fields makes a missed field a one-file fix.
+var fieldName = map[string]string{
+	"SpMV":                 "spmv",
+	"PCApply":              "pc_apply",
+	"Allreduce":            "allreduce",
+	"Iallreduce":           "iallreduce",
+	"ReduceWords":          "reduce_words",
+	"HaloExchanges":        "halo_exchanges",
+	"Flops":                "flops",
+	"SpMVFlops":            "spmv_flops",
+	"PCFlops":              "pc_flops",
+	"Iterations":           "iterations",
+	"Recoveries":           "recoveries",
+	"ResidualReplacements": "residual_replacements",
+	"LadderStepdowns":      "ladder_stepdowns",
+	"CommTimeouts":         "comm_timeouts",
+	"CommResends":          "comm_resends",
+	"CommCorruptions":      "comm_corruptions",
+}
+
+// MarshalJSON serializes the counters as a flat object with the stable
+// snake_case keys of Fields(), in declaration order. Integer-valued counters
+// are emitted without a decimal point.
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, f := range c.Fields() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(f.Name))
+		b.WriteByte(':')
+		b.WriteString(formatValue(f.Value))
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// WritePrometheus writes one Prometheus text-format line per counter:
+//
+//	<prefix>_<name>{<labels>} <value>
+//
+// labels is the raw label body ("method=\"pcg\"") and may be empty. The
+// output order matches Fields(), so repeated scrapes diff cleanly.
+func (c *Counters) WritePrometheus(w io.Writer, prefix, labels string) error {
+	lb := ""
+	if labels != "" {
+		lb = "{" + labels + "}"
+	}
+	for _, f := range c.Fields() {
+		if _, err := fmt.Fprintf(w, "%s_%s%s %s\n", prefix, f.Name, lb, formatValue(f.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders integral values without an exponent or decimal point
+// and everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
 
 // TotalAllreduces returns blocking plus non-blocking reductions.
 func (c *Counters) TotalAllreduces() int { return c.Allreduce + c.Iallreduce }
