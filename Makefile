@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels chaos serve-smoke tier1
+.PHONY: all build test race vet bench bench-kernels chaos serve-smoke audit tier1
 
 all: tier1
 
@@ -14,7 +14,7 @@ test:
 # goroutine-rank communication runtime (which shares the pool across ranks),
 # and the solver service (registry LRU, job manager, drain).
 race:
-	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/...
+	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/... ./internal/audit/...
 
 vet:
 	$(GO) vet ./...
@@ -31,10 +31,17 @@ chaos:
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke -v -count=1 ./internal/serve
 
+# Differential correctness harness: a seeded config sweep through every
+# runtime (seq, sim, comm P∈{1,4,7}) judged for bit-identity, cross-rank
+# outcome equivalence, true-residual drift, and history invariants — plus
+# the harness's own self-tests — under the race detector.
+audit:
+	$(GO) test -race -count=1 -run 'TestAudit|TestGenerate|TestParseConfig|TestDrift|TestGram|TestComparator|TestInvariants|TestExecute|TestLedger' ./internal/audit
+
 # tier1 is the gate every change must pass: build, vet, full tests, the
-# race detector over the concurrent packages, the chaos suite, and the
-# solver-service smoke.
-tier1: build vet test race chaos serve-smoke
+# race detector over the concurrent packages, the chaos suite, the
+# solver-service smoke, and the differential audit sweep.
+tier1: build vet test race chaos serve-smoke audit
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

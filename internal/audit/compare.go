@@ -1,0 +1,174 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Violation is one judged failure: which config, which engine spec, what
+// kind of check, and enough detail to act on. Repro carries the one-line
+// command that reproduces the (shrunk) failure.
+type Violation struct {
+	Config Config
+	Spec   string
+	Kind   string // "equivalence", "invariant", "drift", "error"
+	Detail string
+	Repro  string
+}
+
+// String renders the violation as the harness's one-line report.
+func (v Violation) String() string {
+	s := fmt.Sprintf("[%s] %s @ %s: %s", v.Kind, v.Config, v.Spec, v.Detail)
+	if v.Repro != "" {
+		s += "\n    repro: " + v.Repro
+	}
+	return s
+}
+
+// ReproLine builds the one-line repro command for a config.
+func ReproLine(cfg Config) string {
+	return fmt.Sprintf("go run ./cmd/audit -one %q", cfg.String())
+}
+
+// CompareRuns judges a config's runs against each other under the two-tier
+// equivalence policy:
+//
+// Bit group (seq, sim, comm P=1 — any pool size): these runtimes execute the
+// exact same floating-point operations in the exact same order, so the
+// iterate, every HistPoint of the convergence history, and the full counter
+// ledger must be equal TO THE BIT. Any deviation is a determinism bug — in
+// the worker-pool chunk geometry, a kernel re-association, or a counter
+// charged on one path but not another.
+//
+// Cross-P (comm P>1): multi-rank reductions re-associate the per-rank
+// partial sums, a different but equally valid floating-point evaluation, so
+// iterates legitimately diverge beyond any fixed ULP bound as the solve
+// progresses (and rank-local SSOR is a block preconditioner — a different
+// operator). These runs are held to outcome equivalence instead:
+// convergence flags agree with the reference, iteration counts stay within
+// CrossIterRatio, and the gathered iterate's TRUE residual meets
+// CrossResidFactor × rtol.
+func CompareRuns(cfg Config, runs []*Run, p AuditParams) []Violation {
+	var vs []Violation
+	var base *Run
+	for _, r := range runs {
+		if r != nil && r.Spec.BitGroup() {
+			base = r
+			break
+		}
+	}
+	if base == nil {
+		return vs
+	}
+	for _, r := range runs {
+		if r == nil || r == base {
+			continue
+		}
+		if r.Spec.BitGroup() {
+			vs = append(vs, compareBits(cfg, base, r)...)
+		} else {
+			vs = append(vs, compareCrossP(cfg, base, r, p)...)
+		}
+	}
+	return vs
+}
+
+func compareBits(cfg Config, base, r *Run) []Violation {
+	var vs []Violation
+	viol := func(detail string, args ...any) {
+		vs = append(vs, Violation{Config: cfg, Spec: r.Spec.String(),
+			Kind: "equivalence", Detail: fmt.Sprintf(detail, args...)})
+	}
+	against := base.Spec.String()
+
+	if len(r.X) != len(base.X) {
+		viol("iterate length %d vs %d on %s", len(r.X), len(base.X), against)
+		return vs
+	}
+	for i := range r.X {
+		if math.Float64bits(r.X[i]) != math.Float64bits(base.X[i]) {
+			viol("iterate differs from %s at element %d: %x vs %x",
+				against, i, math.Float64bits(r.X[i]), math.Float64bits(base.X[i]))
+			break
+		}
+	}
+	if len(r.Res.History) != len(base.Res.History) {
+		viol("history length %d vs %d on %s", len(r.Res.History), len(base.Res.History), against)
+	} else {
+		for i, hp := range r.Res.History {
+			bp := base.Res.History[i]
+			if hp.Iteration != bp.Iteration || hp.ReduceIndex != bp.ReduceIndex ||
+				math.Float64bits(hp.RelRes) != math.Float64bits(bp.RelRes) {
+				viol("history[%d] differs from %s: {it=%d rel=%x ridx=%d} vs {it=%d rel=%x ridx=%d}",
+					i, against, hp.Iteration, math.Float64bits(hp.RelRes), hp.ReduceIndex,
+					bp.Iteration, math.Float64bits(bp.RelRes), bp.ReduceIndex)
+				break
+			}
+		}
+	}
+	if r.Res.Converged != base.Res.Converged || r.Res.Iterations != base.Res.Iterations {
+		viol("outcome differs from %s: converged=%v iters=%d vs converged=%v iters=%d",
+			against, r.Res.Converged, r.Res.Iterations, base.Res.Converged, base.Res.Iterations)
+	}
+	if d := ledgerDiff(&r.Ledger, &base.Ledger); d != "" {
+		viol("counter ledger differs from %s: %s", against, d)
+	}
+	return vs
+}
+
+// ledgerDiff compares every serialized counter field and names the first
+// mismatch; "" means the ledgers are identical.
+func ledgerDiff(a, b *trace.Counters) string {
+	af, bf := a.Fields(), b.Fields()
+	for i := range af {
+		if af[i].Value != bf[i].Value {
+			return fmt.Sprintf("%s: %v vs %v", af[i].Name, af[i].Value, bf[i].Value)
+		}
+	}
+	return ""
+}
+
+func compareCrossP(cfg Config, base, r *Run, p AuditParams) []Violation {
+	var vs []Violation
+	viol := func(detail string, args ...any) {
+		vs = append(vs, Violation{Config: cfg, Spec: r.Spec.String(),
+			Kind: "equivalence", Detail: fmt.Sprintf(detail, args...)})
+	}
+	against := base.Spec.String()
+
+	if r.Res.Converged != base.Res.Converged {
+		viol("converged=%v but %s converged=%v", r.Res.Converged, against, base.Res.Converged)
+	}
+	bi, ri := base.Res.Iterations, r.Res.Iterations
+	if bi > 0 && ri > 0 {
+		ratio := float64(ri) / float64(bi)
+		// Slack of one outer block absorbs a convergence check landing on
+		// the other side of the tolerance at tiny iteration counts.
+		slack := float64(2 * cfg.S)
+		if ratio > p.CrossIterRatio && float64(ri-bi) > slack {
+			viol("iterations %d vs %d on %s exceeds ratio %g", ri, bi, against, p.CrossIterRatio)
+		}
+		if 1/ratio > p.CrossIterRatio && float64(bi-ri) > slack {
+			viol("iterations %d vs %d on %s exceeds ratio %g", ri, bi, against, p.CrossIterRatio)
+		}
+	}
+	return vs
+}
+
+// CheckTrueResidual closes the cross-P loop: the gathered iterate of a
+// converged multi-rank run must satisfy the ORIGINAL system to within
+// CrossResidFactor of the tolerance, measured with the raw CSR kernel —
+// independent of everything the distributed runtime computed.
+func CheckTrueResidual(cfg Config, r *Run, trueRel float64, p AuditParams) []Violation {
+	if r.Res == nil || !r.Res.Converged {
+		return nil
+	}
+	if !finite(trueRel) || trueRel > p.CrossResidFactor*r.RelTol {
+		return []Violation{{Config: cfg, Spec: r.Spec.String(), Kind: "equivalence",
+			Detail: fmt.Sprintf("converged but true residual %.3e exceeds %g×rtol (%g)",
+				trueRel, p.CrossResidFactor, r.RelTol)}}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config is one point of the differential sweep: a problem instance, a
+// method, a preconditioner and a block size. A config is deliberately
+// engine-free — the harness runs the SAME config through every engine spec
+// and compares the outcomes. Seed records the splitmix64 draw that produced
+// the config, so a reported failure carries its own provenance.
+type Config struct {
+	Problem string // bench problem name (poisson7, poisson125, ecology2, ...)
+	N       int    // grid edge for structured problems, reduction scale for synth ones
+	Method  string // solver name from the bench registry
+	PC      string // preconditioner name (none, jacobi, sor)
+	S       int    // s-step block size (1 for the one-step methods)
+	Seed    uint64 // generator draw that produced this config (provenance)
+}
+
+// synthProblems are the problems whose N field is a reduction scale rather
+// than a grid edge (they serialize as scale= instead of n=).
+var synthProblems = map[string]bool{"ecology2": true, "thermal2": true, "serena": true}
+
+// sStepMethods are the methods that consume Options.S.
+var sStepMethods = map[string]bool{
+	"scg": true, "pscg": true, "scg-s": true, "pipe-scg": true, "pipe-pscg": true,
+}
+
+// String renders the config in the canonical repro form:
+//
+//	problem=poisson7;n=6;method=pipe-pscg;pc=jacobi;s=3;seed=0x9e3779b97f4a7c15
+//
+// ParseConfig inverts it exactly; the pair is the wire format of every repro
+// line the harness prints.
+func (c Config) String() string {
+	dim := "n"
+	if synthProblems[c.Problem] {
+		dim = "scale"
+	}
+	return fmt.Sprintf("problem=%s;%s=%d;method=%s;pc=%s;s=%d;seed=0x%x",
+		c.Problem, dim, c.N, c.Method, c.PC, c.S, c.Seed)
+}
+
+// ParseConfig parses the String form back into a Config.
+func ParseConfig(s string) (Config, error) {
+	var c Config
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(strings.TrimSpace(s), ";") {
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return c, fmt.Errorf("audit: bad config field %q (want key=value)", kv)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		if seen[k] {
+			return c, fmt.Errorf("audit: duplicate config field %q", k)
+		}
+		seen[k] = true
+		switch k {
+		case "problem":
+			c.Problem = v
+		case "n", "scale":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return c, fmt.Errorf("audit: bad %s=%q: %v", k, v, err)
+			}
+			c.N = n
+		case "method":
+			c.Method = v
+		case "pc":
+			c.PC = v
+		case "s":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return c, fmt.Errorf("audit: bad s=%q: %v", v, err)
+			}
+			c.S = n
+		case "seed":
+			sd, err := strconv.ParseUint(strings.TrimPrefix(v, "0x"), 16, 64)
+			if err != nil {
+				return c, fmt.Errorf("audit: bad seed=%q: %v", v, err)
+			}
+			c.Seed = sd
+		default:
+			return c, fmt.Errorf("audit: unknown config field %q", k)
+		}
+	}
+	if c.Problem == "" || c.Method == "" {
+		return c, fmt.Errorf("audit: config %q missing problem or method", s)
+	}
+	if c.PC == "" {
+		c.PC = "none"
+	}
+	if c.S < 1 {
+		c.S = 1
+	}
+	return c, nil
+}
+
+// splitmix64 is the generator behind the sweep: a tiny, well-mixed,
+// splittable PRNG whose whole state is one uint64 — the seed IS the stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// problemPool is the sweep's problem axis: small instances of the paper's
+// workloads, each with the size choices that keep a full differential run
+// (6 engine specs per config) in test-suite time.
+var problemPool = []struct {
+	name string
+	dims []int
+}{
+	{"poisson7", []int{6, 7, 8, 9}},
+	{"poisson125", []int{4, 5}},
+	{"ecology2", []int{120}}, // reduction scale: an 8×8 heterogeneous 2D grid
+}
+
+// methodPool is the sweep's method axis — the six methods ISSUE 4 names:
+// the blocking baselines, both s-step generations and both pipelined
+// variants.
+var methodPool = []string{"pcg", "groppcg", "scg", "pipe-scg", "pscg", "pipe-pscg"}
+
+// pcPool is the preconditioner axis. Methods that ignore the preconditioner
+// are forced to "none" so equal configs stringify equally.
+var pcPool = []string{"none", "jacobi", "sor"}
+
+// Generate derives count configs from seed. The stream is pure: the same
+// seed always yields the same configs, and every config records the draw
+// that produced it so it can be regenerated in isolation.
+func Generate(seed uint64, count int) []Config {
+	state := seed
+	out := make([]Config, 0, count)
+	for len(out) < count {
+		draw := splitmix64(&state)
+		out = append(out, configFromDraw(draw))
+	}
+	return out
+}
+
+// configFromDraw maps one 64-bit draw onto the config axes, consuming
+// disjoint bit ranges so nearby draws decorrelate.
+func configFromDraw(draw uint64) Config {
+	c := Config{Seed: draw}
+	p := problemPool[int(draw%uint64(len(problemPool)))]
+	draw >>= 8
+	c.Problem = p.name
+	c.N = p.dims[int(draw%uint64(len(p.dims)))]
+	draw >>= 8
+	c.Method = methodPool[int(draw%uint64(len(methodPool)))]
+	draw >>= 8
+	if sStepMethods[c.Method] {
+		c.S = 1 + int(draw%4) // s ∈ 1..4: past 3 engages the σ basis rescale
+	} else {
+		c.S = 1
+	}
+	draw >>= 8
+	if unpreconditioned(c.Method) {
+		c.PC = "none"
+	} else {
+		c.PC = pcPool[int(draw%uint64(len(pcPool)))]
+	}
+	return c
+}
+
+// unpreconditioned mirrors bench.Unpreconditioned for the methods in the
+// sweep (kept local so config generation has no bench dependency).
+func unpreconditioned(method string) bool {
+	switch method {
+	case "scg", "scg-s", "pipe-scg":
+		return true
+	}
+	return false
+}
+
+// minDim returns the smallest legal size for a problem — the shrinker's
+// floor.
+func minDim(problem string) int {
+	for _, p := range problemPool {
+		if p.name == problem {
+			d := append([]int(nil), p.dims...)
+			sort.Ints(d)
+			if synthProblems[problem] {
+				return d[len(d)-1] // for scales, LARGER scale = SMALLER matrix
+			}
+			return d[0]
+		}
+	}
+	return 1
+}

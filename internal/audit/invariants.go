@@ -1,0 +1,81 @@
+package audit
+
+import (
+	"fmt"
+)
+
+// CheckInvariants judges the structural per-iteration invariants of one run
+// — properties every engine must uphold regardless of numerics:
+//
+//   - the history is well-formed: non-empty, iteration numbers strictly
+//     increasing from 0 in method-sized steps;
+//   - ReduceIndex is monotone non-decreasing (the reduction counter can
+//     only ever advance);
+//   - every recorded residual norm is finite, EXCEPT the final point of a
+//     run the divergence guard stopped — the one place a NaN/Inf is
+//     legitimate, and it must then be terminal;
+//   - a run that claims convergence actually met its tolerance at the last
+//     check.
+func CheckInvariants(cfg Config, r *Run) []Violation {
+	var vs []Violation
+	viol := func(detail string, args ...any) {
+		vs = append(vs, Violation{Config: cfg, Spec: r.Spec.String(),
+			Kind: "invariant", Detail: fmt.Sprintf(detail, args...)})
+	}
+	res := r.Res
+	if res == nil {
+		viol("run produced no result")
+		return vs
+	}
+	hist := res.History
+	if len(hist) == 0 {
+		viol("empty convergence history")
+		return vs
+	}
+	if hist[0].Iteration != 0 {
+		viol("history starts at iteration %d, want 0", hist[0].Iteration)
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Iteration <= hist[i-1].Iteration {
+			viol("history[%d] iteration %d not increasing past %d",
+				i, hist[i].Iteration, hist[i-1].Iteration)
+			break
+		}
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].ReduceIndex < hist[i-1].ReduceIndex {
+			viol("history[%d] ReduceIndex %d decreased from %d",
+				i, hist[i].ReduceIndex, hist[i-1].ReduceIndex)
+			break
+		}
+	}
+	for i, hp := range hist {
+		if finite(hp.RelRes) {
+			continue
+		}
+		if i == len(hist)-1 && res.Diverged {
+			continue // the divergence guard's terminal sample
+		}
+		viol("non-finite RelRes %v at history[%d] (diverged=%v, len=%d)",
+			hp.RelRes, i, res.Diverged, len(hist))
+		break
+	}
+	if res.Converged {
+		last := hist[len(hist)-1].RelRes
+		// The monitor's test is norm < max(rtol·‖b‖, atol); with the audit's
+		// negligible atol that is rel < rtol. Allow one ULP of slack for the
+		// rel = norm/‖b‖ division.
+		if !(last < r.RelTol*(1+1e-12)) {
+			viol("claims convergence but final RelRes %.6e ≥ rtol %.1e", last, r.RelTol)
+		}
+		if !finite(res.RelRes) {
+			viol("claims convergence with non-finite Result.RelRes %v", res.RelRes)
+		}
+	}
+	if res.Iterations > 0 && len(hist) > 0 &&
+		hist[len(hist)-1].Iteration > res.Iterations {
+		viol("last history iteration %d exceeds Result.Iterations %d",
+			hist[len(hist)-1].Iteration, res.Iterations)
+	}
+	return vs
+}

@@ -1,0 +1,216 @@
+package audit
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/krylov"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// EngineSpec names one runtime a config is executed on: the engine kind,
+// the rank count (comm only) and the shared worker-pool size. The pool size
+// is part of the spec because the determinism contract of internal/par —
+// chunk geometry is a function of problem size, never worker count — is one
+// of the properties the harness exists to enforce.
+type EngineSpec struct {
+	Kind  string // "seq", "sim" or "comm"
+	Ranks int    // comm only; 0/1 otherwise
+	Pool  int    // par worker count; 0 means the GOMAXPROCS default
+}
+
+// String renders the spec for violation reports ("comm[p=4,pool=8]").
+func (s EngineSpec) String() string {
+	pool := s.Pool
+	if pool == 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if s.Kind == "comm" {
+		return fmt.Sprintf("comm[p=%d,pool=%d]", s.Ranks, pool)
+	}
+	return fmt.Sprintf("%s[pool=%d]", s.Kind, pool)
+}
+
+// BitGroup reports whether runs on this spec must be bit-identical to the
+// sequential reference. Seq and sim share the exact kernel sequence on
+// global vectors, and a single comm rank owns every row, so all three — at
+// ANY pool size — must agree to the last bit. Multi-rank comm re-associates
+// the dot-product reduction across rank boundaries, which is a genuinely
+// different (and equally valid) floating-point sum; those runs are held to
+// the cross-P policy instead (see ComparePolicy).
+func (s EngineSpec) BitGroup() bool { return s.Kind != "comm" || s.Ranks <= 1 }
+
+// DefaultSpecs is the engine matrix ISSUE 4 prescribes: the three bit-group
+// runtimes with both pool extremes, plus comm at P=4 and P=7.
+func DefaultSpecs() []EngineSpec {
+	ncpu := runtime.NumCPU()
+	all := []EngineSpec{
+		{Kind: "seq", Pool: 1},
+		{Kind: "seq", Pool: ncpu},
+		{Kind: "sim", Pool: 1},
+		{Kind: "comm", Ranks: 1, Pool: 1},
+		{Kind: "comm", Ranks: 4, Pool: ncpu},
+		{Kind: "comm", Ranks: 7, Pool: ncpu},
+	}
+	// On a single-core machine the two pool extremes coincide; drop the
+	// duplicates rather than run identical specs twice.
+	out := all[:0]
+	for _, s := range all {
+		dup := false
+		for _, prev := range out {
+			if prev == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Run is the observable outcome of one (config, spec) execution: the solver
+// result with the assembled global iterate, the rank-0 counter ledger, and
+// the out-of-band drift/invariant observations collected during the solve.
+type Run struct {
+	Spec   EngineSpec
+	Res    *krylov.Result
+	X      []float64 // global iterate (gathered for comm)
+	Ledger trace.Counters
+	Drift  *DriftReport // nil when the spec cannot observe global iterates (comm P>1)
+	RelTol float64
+}
+
+// Execute runs one config on one engine spec. The solve is configured with
+// the unpreconditioned residual norm so the monitor's recurrence norm and
+// the drift auditor's true ‖b−A·x‖/‖b‖ measure the same quantity.
+func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
+	pr, err := bench.ProblemByName(cfg.Problem, cfg.N, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	opt := bench.DefaultOptions(pr)
+	opt.S = cfg.S
+	opt.MaxIter = ap.MaxIter
+	opt.Norm = krylov.NormUnpreconditioned
+	solver, err := bench.Solver(cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+
+	// The worker pool is process-global; pin it for the duration of this run
+	// and restore afterwards so specs never leak into each other.
+	prevPool := par.Workers()
+	par.SetWorkers(spec.Pool)
+	defer par.SetWorkers(prevPool)
+
+	run := &Run{Spec: spec, RelTol: opt.RelTol}
+
+	// The drift auditor observes the iterate out-of-band wherever one rank
+	// holds the whole vector. It uses the raw CSR product — never the engine
+	// — so the counter ledgers stay comparable across engines.
+	if spec.BitGroup() {
+		da := NewDriftAuditor(pr.A, pr.B, cfg.S, ap)
+		opt.Observe = da.Observe
+		defer func() { run.Drift = da.Report() }()
+	}
+
+	switch spec.Kind {
+	case "seq", "sim":
+		pc, err := bench.MakePC(effectivePC(cfg), pr)
+		if err != nil {
+			return nil, err
+		}
+		var e engine.Engine
+		if spec.Kind == "seq" {
+			e = engine.NewSeq(pr.A, pc)
+		} else {
+			e = sim.NewEngine(pr.A, pc)
+		}
+		res, err := solver(e, pr.B, opt)
+		if err != nil {
+			return nil, err
+		}
+		run.Res, run.X, run.Ledger = res, res.X, *e.Counters()
+		return run, nil
+
+	case "comm":
+		ranks := spec.Ranks
+		if ranks < 1 {
+			ranks = 1
+		}
+		pt := partition.RowBlockByNNZ(pr.A, ranks)
+		f := comm.NewFabric(ranks, 0)
+		engines := comm.NewEngines(f, pr.A, pt, pcFactory(effectivePC(cfg)))
+		bs := comm.Scatter(pt, pr.B)
+		opt.WaitDeadline = 10 * time.Second
+
+		rankOpts := make([]krylov.Options, ranks)
+		for r := range rankOpts {
+			rankOpts[r] = opt
+			if r != 0 {
+				rankOpts[r].Observe = nil
+			}
+		}
+		results := make([]*krylov.Result, ranks)
+		errs := comm.RunErr(engines, func(r int, e *comm.Engine) error {
+			res, err := solver(e, bs[r], rankOpts[r])
+			results[r] = res
+			return err
+		})
+		ledger := *engines[0].Counters()
+		_ = f.Close()
+		for r, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("rank %d: %w", r, err)
+			}
+		}
+		xs := make([][]float64, ranks)
+		for r := range xs {
+			xs[r] = results[r].X
+		}
+		run.Res, run.X, run.Ledger = results[0], comm.Gather(pt, xs), ledger
+		return run, nil
+	}
+	return nil, fmt.Errorf("audit: unknown engine kind %q", spec.Kind)
+}
+
+// effectivePC collapses the preconditioner for methods that ignore it, so a
+// config carrying a stale pc field still runs the solve it describes.
+func effectivePC(cfg Config) string {
+	if unpreconditioned(cfg.Method) {
+		return "none"
+	}
+	return cfg.PC
+}
+
+// pcFactory maps a preconditioner name to the comm runtime's rank-local
+// factory. Only the rank-local PCs are in the sweep: at P>1, rank-local SSOR
+// is a block-SSOR — a different (valid) operator than the global sweep, one
+// more reason multi-rank runs live under the cross-P policy, not the bit
+// group.
+func pcFactory(name string) comm.PCFactory {
+	switch name {
+	case "", "none":
+		return nil
+	case "jacobi":
+		return func(a *sparse.CSR, lo, hi int) engine.Preconditioner {
+			return precond.NewJacobi(a, lo, hi)
+		}
+	case "sor":
+		return func(a *sparse.CSR, lo, hi int) engine.Preconditioner {
+			return precond.NewSSOR(a, lo, hi, 1.0, 1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package audit
+
+import "sort"
+
+// Shrink greedily reduces a failing config to a (locally) minimal one that
+// still fails, delta-debugging style: each pass tries, in order, the
+// smallest problem instance, the smallest block size, and dropping the
+// preconditioner, keeping any reduction under which fails() still returns
+// true. The method is never changed — a differential failure is usually
+// method-specific, and swapping it would shrink to a different bug. The
+// result is the config the repro line reports.
+func Shrink(cfg Config, fails func(Config) bool) Config {
+	for pass := 0; pass < 8; pass++ {
+		reduced := false
+
+		// Smaller problem instance (for synth problems a LARGER scale is
+		// the smaller matrix; dimCandidates orders accordingly).
+		for _, dim := range dimCandidates(cfg.Problem, cfg.N) {
+			c := cfg
+			c.N = dim
+			if fails(c) {
+				cfg = c
+				reduced = true
+				break
+			}
+		}
+
+		// Smaller block size.
+		for s := 1; s < cfg.S; s++ {
+			c := cfg
+			c.S = s
+			if fails(c) {
+				cfg = c
+				reduced = true
+				break
+			}
+		}
+
+		// No preconditioner.
+		if cfg.PC != "none" {
+			c := cfg
+			c.PC = "none"
+			if fails(c) {
+				cfg = c
+				reduced = true
+			}
+		}
+
+		if !reduced {
+			break
+		}
+	}
+	return cfg
+}
+
+// dimCandidates returns the problem sizes strictly smaller (as matrices)
+// than cur, smallest matrix first.
+func dimCandidates(problem string, cur int) []int {
+	var pool []int
+	for _, p := range problemPool {
+		if p.name == problem {
+			pool = append([]int(nil), p.dims...)
+		}
+	}
+	synth := synthProblems[problem]
+	var out []int
+	for _, d := range pool {
+		if (synth && d > cur) || (!synth && d < cur) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if synth {
+			return out[i] > out[j] // larger scale = smaller matrix
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -16,6 +16,7 @@ func PCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
 	mon := newMonitor(e, b, opt)
 
 	x := zerosLike(n, opt.X0)
+	mon.x = x
 	r := make([]float64, n)
 	u := make([]float64, n)
 	p := make([]float64, n)
@@ -100,6 +101,7 @@ func PIPECG(e engine.Engine, b []float64, opt Options) (*Result, error) {
 	mon := newMonitor(e, b, opt)
 
 	x := zerosLike(n, opt.X0)
+	mon.x = x
 	r := make([]float64, n)
 	u := make([]float64, n)
 	w := make([]float64, n)

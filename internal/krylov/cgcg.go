@@ -18,6 +18,7 @@ func CGCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
 	mon := newMonitor(e, b, opt)
 
 	x := zerosLike(n, opt.X0)
+	mon.x = x
 	r := make([]float64, n)
 	u := make([]float64, n)
 	w := make([]float64, n)

@@ -19,6 +19,7 @@ func GROPPCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
 	mon := newMonitor(e, b, opt)
 
 	x := zerosLike(n, opt.X0)
+	mon.x = x
 	r := make([]float64, n)
 	u := make([]float64, n)
 	p := make([]float64, n)
@@ -33,12 +34,26 @@ func GROPPCG(e engine.Engine, b []float64, opt Options) (*Result, error) {
 	e.ApplyPC(u, r)
 	copy(p, u)
 	e.SpMV(s, p)
-	gBuf := []float64{vec.Dot(r, u), 0}
-	chargeDots(e, n, 1)
-	e.AllreduceSum(gBuf[:1])
+	// Fold the initial norm term into the γ0 setup reduction (one extra word,
+	// no extra collective) so the monitor sees the residual of x0 at
+	// iteration 0 — the same initial check every other method records. An x0
+	// already inside the tolerance converges without running an iteration.
+	gBuf := []float64{vec.Dot(r, u), normTermPCG(opt.Norm, u, r, 0)}
+	if opt.Norm == NormNatural {
+		gBuf[1] = gBuf[0]
+	}
+	chargeDots(e, n, 2)
+	e.AllreduceSum(gBuf)
 	gamma := gBuf[0]
 
 	res := &Result{Method: "groppcg", X: x}
+	if stop, conv := mon.check(math.Sqrt(math.Abs(gBuf[1])), 0); stop {
+		res.Converged = conv
+		res.Diverged = mon.diverged
+		res.History = mon.hist
+		res.RelRes = mon.relres()
+		return res, nil
+	}
 	buf := make([]float64, 2)
 	for i := 0; i < opt.MaxIter; i++ {
 		// δ = (p, s), hidden behind q = M⁻¹·s.

@@ -113,6 +113,14 @@ type Options struct {
 	// rank calls it, so a process-wide consumer should install it on one
 	// rank only.
 	Progress func(HistPoint)
+	// Observe, when non-nil, is invoked after every convergence check with
+	// the history point just recorded and a read-only view of the rank-local
+	// iterate the checked residual norm corresponds to. It is the
+	// out-of-band audit hook (internal/audit recomputes the true residual
+	// ‖b−A·x‖ through it): the callback must not mutate x and must not call
+	// back into the engine — it runs between kernels and anything it charges
+	// or reduces would desynchronize the counter ledger across engines.
+	Observe func(hp HistPoint, x []float64)
 }
 
 // Defaults returns the options the paper's experiments use: rtol 1e-5, s=3,
@@ -165,6 +173,10 @@ type monitor struct {
 	diverged bool
 	// progress is Options.Progress: the per-check streaming callback.
 	progress func(HistPoint)
+	// observe is Options.Observe; x is the solver's iterate slice (stable
+	// for the whole solve), handed to observe alongside each history point.
+	observe func(HistPoint, []float64)
+	x       []float64
 }
 
 // divergeFactor is how far above its best value the relative residual may
@@ -180,7 +192,7 @@ func newMonitor(e engine.Engine, b []float64, opt Options) *monitor {
 		e:    e,
 		rtol: opt.RelTol, atol: opt.AbsTol, bnorm: math.Sqrt(buf[0]),
 		window: opt.StagnationWindow, factor: opt.StagnationFactor,
-		progress: opt.Progress,
+		progress: opt.Progress, observe: opt.Observe,
 	}
 }
 
@@ -200,6 +212,9 @@ func (m *monitor) check(norm float64, iter int) (stop, converged bool) {
 	if m.progress != nil {
 		m.progress(m.hist[len(m.hist)-1])
 	}
+	if m.observe != nil && m.x != nil {
+		m.observe(m.hist[len(m.hist)-1], m.x)
+	}
 	if math.IsNaN(norm) || math.IsInf(norm, 0) {
 		m.diverged = true
 		return true, false
@@ -214,17 +229,29 @@ func (m *monitor) check(norm float64, iter int) (stop, converged bool) {
 		return true, false
 	}
 	if m.window > 0 {
-		m.recent = append(m.recent, rel)
+		// The buffer holds up to window+1 samples: recent[0] is the baseline
+		// from exactly `window` checks ago, recent[1:] are the last `window`
+		// checks the detector judges. Trimming happens AFTER the comparison —
+		// trimming first (the pre-audit bug) dropped the baseline and compared
+		// the window's minimum against its own second-oldest point, i.e. an
+		// effective window of window−1 checks.
 		if len(m.recent) > m.window {
-			m.recent = m.recent[1:]
-			best := m.recent[0]
-			for _, v := range m.recent[1:] {
+			copy(m.recent, m.recent[1:])
+			m.recent = m.recent[:m.window]
+		}
+		m.recent = append(m.recent, rel)
+		if len(m.recent) == m.window+1 {
+			baseline := m.recent[0]
+			best := m.recent[1]
+			for _, v := range m.recent[2:] {
 				if v < best {
 					best = v
 				}
 			}
-			// No meaningful progress across the window → stagnated.
-			if best > m.recent[0]*m.factor {
+			// No meaningful progress across the window → stagnated. An
+			// improvement of exactly (1 − factor) counts as progress (strict
+			// comparison), so the boundary case keeps iterating.
+			if best > baseline*m.factor {
 				m.stagnat = true
 				return true, false
 			}
@@ -241,14 +268,21 @@ func (m *monitor) relres() float64 {
 }
 
 // rearm clears the stop flags after a recovery restart and re-anchors the
-// divergence guard and the stagnation window at the restored iterate.
+// divergence guard and the stagnation window at the restored iterate. A
+// non-finite or non-positive rel (a best value harvested from a poisoned
+// history) must NOT become the new anchor: the divergence guard would then
+// never fire again (every comparison against NaN is false), so the previous
+// finite anchor is kept instead.
 func (m *monitor) rearm(rel float64) {
 	m.diverged, m.stagnat = false, false
 	m.recent = m.recent[:0]
-	if rel > 0 && !math.IsNaN(rel) && !math.IsInf(rel, 0) {
+	if rel > 0 && isFinite(rel) {
 		m.bestRel = rel
 	}
 }
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // waitReduce completes a non-blocking reduction, honoring the configured
 // deadline on backends that support it (engine.DeadlineRequest). On a

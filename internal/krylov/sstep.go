@@ -169,7 +169,13 @@ func (st *sstepState) estimateSigma(b []float64) {
 		buf := []float64{vec.Dot(v, w), vec.Dot(v, v), vec.Dot(w, w)}
 		chargeDots(e, n, 3)
 		e.AllreduceSum(buf)
-		if buf[1] == 0 || buf[2] == 0 || math.IsNaN(buf[2]) {
+		// A poisoned reduction (e.g. an injected bit-flip surviving into the
+		// setup allreduce) can land NaN/Inf in ANY of the three moments, or
+		// flip a squared norm negative; every one of them would propagate
+		// into lambda or the basis scale. Stop the power iteration on the
+		// last sane estimate instead.
+		if !isFinite(buf[0]) || !isFinite(buf[1]) || !isFinite(buf[2]) ||
+			buf[1] <= 0 || buf[2] <= 0 {
 			break
 		}
 		lambda = math.Abs(buf[0]) / buf[1]
@@ -275,6 +281,7 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 		}
 	}
 	mon := newMonitor(e, b, opt)
+	mon.x = st.x
 	res := &Result{Method: cfg.name, X: st.x}
 	st.estimateSigma(b)
 

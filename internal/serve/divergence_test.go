@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// uploadIndefinite registers a 2×2 diag(1, -1) operator. The registry builds
+// b = A·1 = (1, -1); plain CG on it hits pᵀAp = 0 in the first iteration, so
+// α = ∞ and the next residual-norm check sees +Inf — a deterministic
+// divergent solve with no randomness and no timing dependence.
+func uploadIndefinite(t *testing.T, base string) {
+	t.Helper()
+	mm := "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.0\n2 2 -1.0\n"
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/matrices/indef2", strings.NewReader(mm))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestDivergentSolveStreamsToCompletion is the regression test for the
+// non-finite RelRes event bug: a solver that trips its divergence guard
+// records a NaN/Inf residual norm in the history point it hands to the
+// progress hook, and encoding/json refuses non-finite floats. Pre-fix the
+// NDJSON encoder errored on that event and streamJob tore the stream down —
+// the client lost the progress event AND never saw the terminal result.
+// Post-fix the boundary sanitizes: the event arrives with relres omitted and
+// diverged=true, and the stream runs to its result line.
+func TestDivergentSolveStreamsToCompletion(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	uploadIndefinite(t, ts.URL)
+
+	resp := postJSON(t, ts.URL+"/v1/solve?stream=1", SolveRequest{
+		ProblemSpec: ProblemSpec{Problem: "indef2"},
+		Method:      "pcg", PC: "none", MaxIter: 50,
+	})
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var (
+		events       []Event
+		divergedProg bool
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Type == "progress" && ev.Diverged {
+			divergedProg = true
+			if ev.RelRes != 0 {
+				t.Fatalf("diverged progress event carries relres %g, want omitted", ev.RelRes)
+			}
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !divergedProg {
+		t.Fatalf("no diverged progress event reached the client (stream: %d events)", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != "result" {
+		t.Fatalf("stream ended on %q, want result — the divergent event tore the stream down", last.Type)
+	}
+	if last.State != JobFailed {
+		t.Fatalf("terminal state %s, want failed", last.State)
+	}
+	if !last.Diverged {
+		t.Fatal("result event does not flag divergence")
+	}
+	if math.IsNaN(last.RelRes) || math.IsInf(last.RelRes, 0) {
+		t.Fatalf("result relres %g survived sanitization", last.RelRes)
+	}
+
+	// The query-side status view goes through the same boundary.
+	st := decodeStatus(t, mustGet(t, ts.URL+"/v1/jobs/"+last.Job))
+	if st.State != JobFailed || !st.Diverged {
+		t.Fatalf("status state=%s diverged=%v, want failed/true", st.State, st.Diverged)
+	}
+	if math.IsNaN(st.RelRes) || math.IsInf(st.RelRes, 0) {
+		t.Fatalf("status relres %g survived sanitization", st.RelRes)
+	}
+}

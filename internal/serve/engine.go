@@ -51,6 +51,18 @@ func (e *cancelEngine) IallreduceSum(buf []float64) engine.Request {
 	return e.Engine.IallreduceSum(buf)
 }
 
+// saneRel sanitizes a residual norm for the JSON event boundary:
+// encoding/json refuses NaN and ±Inf, and an encoder error inside the NDJSON
+// stream drops the event and tears the stream down. A non-finite norm comes
+// back as (0, true) — omitted from the wire, flagged as diverged — so the
+// event always encodes.
+func saneRel(v float64) (rel float64, diverged bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, true
+	}
+	return v, false
+}
+
 // XHash is the FNV-1a 64 digest of an iterate's raw float64 bits — the
 // bit-identity fingerprint the service returns with every result, so a
 // client can compare a daemon solve against a CLI solve without shipping
@@ -126,7 +138,12 @@ func (m *Manager) run(j *Job) {
 	var progressEng engine.Engine
 	opt.Progress = func(hp krylov.HistPoint) {
 		ev := Event{Type: "progress", Job: j.ID,
-			Iteration: hp.Iteration, RelRes: hp.RelRes, ReduceIndex: hp.ReduceIndex}
+			Iteration: hp.Iteration, ReduceIndex: hp.ReduceIndex}
+		// The monitor records the history point (and fires this hook) BEFORE
+		// its divergence check, so a NaN/Inf residual reaches this boundary
+		// on every divergent solve. json.Marshal fails on non-finite floats;
+		// sanitize here so the event survives instead of tearing the stream.
+		ev.RelRes, ev.Diverged = saneRel(hp.RelRes)
 		if progressEng != nil {
 			ev.Recoveries = progressEng.Counters().RecoveryEvents()
 		}
@@ -300,7 +317,8 @@ func (m *Manager) finishJob(j *Job, state JobState, res *krylov.Result, err erro
 		ev.Method = res.Method
 		ev.Converged = res.Converged
 		ev.Iterations = res.Iterations
-		ev.RelRes = res.RelRes
+		ev.RelRes, ev.Diverged = saneRel(res.RelRes)
+		ev.Diverged = ev.Diverged || res.Diverged
 		if res.X != nil {
 			ev.XHash = XHash(res.X)
 			if j.Req.IncludeX {

@@ -115,8 +115,12 @@ type JobStatus struct {
 	Method     string       `json:"method,omitempty"`
 	Converged  bool         `json:"converged"`
 	Iterations int          `json:"iterations,omitempty"`
-	RelRes     float64      `json:"relres,omitempty"`
-	Error      string       `json:"error,omitempty"`
+	// RelRes passes through saneRel like every event field: a non-finite
+	// final residual is reported as Diverged with RelRes omitted, keeping
+	// the status endpoint encodable for every terminal state.
+	RelRes   float64 `json:"relres,omitempty"`
+	Diverged bool    `json:"diverged,omitempty"`
+	Error    string  `json:"error,omitempty"`
 	XHash      string       `json:"x_hash,omitempty"`
 	X          []float64    `json:"x,omitempty"`
 	Counters   any          `json:"counters,omitempty"`
@@ -129,7 +133,8 @@ func (s *Server) jobStatus(j *Job, includeCounters bool) JobStatus {
 		st.Method = res.Method
 		st.Converged = res.Converged
 		st.Iterations = res.Iterations
-		st.RelRes = res.RelRes
+		st.RelRes, st.Diverged = saneRel(res.RelRes)
+		st.Diverged = st.Diverged || res.Diverged
 		if res.X != nil {
 			st.XHash = XHash(res.X)
 			if j.Req.IncludeX {

@@ -68,9 +68,19 @@ type Event struct {
 	Job  string `json:"job"`
 
 	// progress fields
-	Iteration   int     `json:"iteration,omitempty"`
+	Iteration int `json:"iteration,omitempty"`
+	// RelRes carries the residual norm of the check. A solver can record a
+	// non-finite norm (NaN/Inf) right before its divergence guard stops the
+	// run; encoding/json rejects non-finite floats, so the event boundary
+	// sanitizes them: RelRes is omitted and Diverged is set instead (see
+	// saneRel). The event is delivered either way — pre-audit, the encoder
+	// error silently dropped it and tore the NDJSON stream down mid-solve.
 	RelRes      float64 `json:"relres,omitempty"`
 	ReduceIndex int     `json:"reduce_index,omitempty"`
+	// Diverged marks a residual whose norm was non-finite at this check (or
+	// a result whose final residual was): the recurrence exploded and the
+	// divergence guard is about to stop (or has stopped) the run.
+	Diverged bool `json:"diverged,omitempty"`
 	// Recoveries mirrors trace.Counters.RecoveryEvents() at the time of the
 	// check — a step in this series marks a recovery event.
 	Recoveries int `json:"recoveries,omitempty"`
