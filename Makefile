@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels chaos serve-smoke audit tier1
+.PHONY: all build test race vet bench bench-kernels chaos serve-smoke audit timeline tier1
 
 all: tier1
 
@@ -12,9 +12,10 @@ test:
 
 # Race-check the concurrency-bearing packages: the worker pool, the
 # goroutine-rank communication runtime (which shares the pool across ranks),
-# and the solver service (registry LRU, job manager, drain).
+# the solver service (registry LRU, job manager, drain), and the span tracer
+# (shared by all ranks' reductions in flight).
 race:
-	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/... ./internal/audit/...
+	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/... ./internal/audit/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
@@ -38,10 +39,19 @@ serve-smoke:
 audit:
 	$(GO) test -race -count=1 -run 'TestAudit|TestGenerate|TestParseConfig|TestDrift|TestGram|TestComparator|TestInvariants|TestExecute|TestLedger' ./internal/audit
 
+# Timeline export smoke: an instrumented PIPE-PsCG solve at P=4 plus a
+# stagnation-recovery demo, written as Chrome trace-event JSON and validated
+# (well-formed complete events, every phase present on every rank, overlap
+# ledger attached).
+timeline:
+	$(GO) run ./cmd/timeline -o /tmp/repro-timeline.json
+	$(GO) run ./cmd/timeline -check /tmp/repro-timeline.json
+
 # tier1 is the gate every change must pass: build, vet, full tests, the
 # race detector over the concurrent packages, the chaos suite, the
-# solver-service smoke, and the differential audit sweep.
-tier1: build vet test race chaos serve-smoke audit
+# solver-service smoke, the differential audit sweep, and the timeline
+# export smoke.
+tier1: build vet test race chaos serve-smoke audit timeline
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

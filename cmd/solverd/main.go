@@ -6,6 +6,7 @@
 // Examples:
 //
 //	solverd -addr :8080
+//	solverd -addr :8080 -pprof   (adds the /debug/pprof/ profiling plane)
 //	solverd -addr 127.0.0.1:9000 -workers 8 -queue 128 -load m1.mtx,m2.mtx.gz
 //
 // then:
@@ -19,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -40,6 +42,7 @@ func main() {
 		maxRuntime = flag.Duration("max-runtime", 2*time.Minute, "default per-job budget")
 		drainFor   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
 		load       = flag.String("load", "", "comma-separated MatrixMarket files (.mtx, .mtx.gz) to register at boot")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -48,6 +51,8 @@ func main() {
 		Workers:       *workers,
 		CacheEntries:  *cache,
 		MaxJobRuntime: *maxRuntime,
+		Log:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		EnablePprof:   *pprofOn,
 	})
 	if *load != "" {
 		for _, path := range strings.Split(*load, ",") {

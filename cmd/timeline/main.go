@@ -1,0 +1,207 @@
+// Command timeline exports instrumented solves as a Chrome trace-event JSON
+// file (load it in chrome://tracing or Perfetto). It runs two solves on the
+// goroutine-rank comm runtime with a per-rank tracer attached:
+//
+//   - pid 0: the requested method (default PIPE-PsCG) at the requested rank
+//     count, with injected hop latency so the overlap structure is visible —
+//     posted reductions ride as "overlap" events carrying their measured
+//     hidden fraction.
+//   - pid 1: a stagnation-recovery demo — PIPE-PsCG driven below its
+//     attainable accuracy with the recovery policy armed, so the trace also
+//     covers the recovery phase. Stagnation decisions depend only on
+//     globally reduced values, so every rank recovers at the same step.
+//
+// Usage:
+//
+//	timeline -o trace.json
+//	timeline -check trace.json   (validate an exported file and exit)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/krylov"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("timeline: ")
+	var (
+		n      = flag.Int("n", 24, "grid dimension (7-pt Poisson)")
+		ranks  = flag.Int("ranks", 4, "goroutine ranks")
+		method = flag.String("method", "pipe-pscg", "solver for the main solve (pid 0)")
+		hop    = flag.Duration("hop", 200*time.Microsecond, "injected per-hop fabric latency")
+		out    = flag.String("o", "timeline.json", "output trace file")
+		check  = flag.String("check", "", "validate an exported trace file and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkTrace(*check); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	pr := bench.Poisson7(*n)
+	solve, err := bench.Solver(*method)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := bench.DefaultOptions(pr)
+	sums, res, err := tracedSolve(pr, *ranks, *hop, solve, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	merged := obs.MergeSummaries(sums)
+	log.Printf("pid 0: %s converged=%v iters=%d relres=%.2e hidden=%.2f",
+		*method, res.Converged, res.Iterations, res.RelRes, merged.HiddenFraction())
+	events := obs.AppendChromeEvents(nil, 0, sums)
+
+	// Recovery demo: a tolerance below the recurrence's attainable accuracy
+	// plateaus the residual, the stagnation guard fires (improvement < 1%
+	// over a 2-check window), and the recovery policy restores the best
+	// iterate and rebuilds the basis instead of stopping.
+	ropt := bench.DefaultOptions(pr)
+	ropt.RelTol = 1e-30
+	ropt.Recover = true
+	ropt.MaxRecoveries = 2
+	ropt.StagnationWindow = 2
+	ropt.StagnationFactor = 0.99
+	rsums, rres, err := tracedSolve(pr, *ranks, *hop, krylov.PIPEPSCG, ropt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmerged := obs.MergeSummaries(rsums)
+	log.Printf("pid 1: recovery demo stagnated=%v iters=%d recovery spans=%d",
+		rres.Stagnated, rres.Iterations, rmerged.Phases[obs.PhaseRecovery].Count)
+	events = obs.AppendChromeEvents(events, 1, rsums)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.FinishChromeTrace(f, events); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d events, %d ranks × 2 solves)", *out, len(events), *ranks)
+}
+
+// tracedSolve runs one SPMD solve on a fresh fabric with a tracer per rank
+// and returns the per-rank summaries plus rank 0's result.
+func tracedSolve(pr bench.Problem, ranks int, hop time.Duration,
+	solve krylov.Solver, opt krylov.Options) ([]obs.Summary, *krylov.Result, error) {
+	pt := partition.RowBlockByNNZ(pr.A, ranks)
+	f := comm.NewFabric(ranks, hop)
+	factory := func(a *sparse.CSR, lo, hi int) engine.Preconditioner {
+		return precond.NewJacobi(a, lo, hi)
+	}
+	engines := comm.NewEngines(f, pr.A, pt, factory)
+	tracers := make([]*obs.Tracer, ranks)
+	for r, e := range engines {
+		tracers[r] = obs.New(r)
+		e.SetTracer(tracers[r])
+	}
+	bs := comm.Scatter(pt, pr.B)
+	opt.WaitDeadline = 10 * time.Second
+
+	results := make([]*krylov.Result, ranks)
+	errs := comm.RunErr(engines, func(r int, e *comm.Engine) error {
+		var err error
+		results[r], err = solve(e, bs[r], opt)
+		return err
+	})
+	if err := f.Close(); err != nil {
+		return nil, nil, fmt.Errorf("fabric leak: %v", err)
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("rank %d: %v", r, err)
+		}
+	}
+	sums := make([]obs.Summary, ranks)
+	for r, tr := range tracers {
+		sums[r] = tr.Summary()
+	}
+	return sums, results[0], nil
+}
+
+// checkTrace validates an exported file: it must parse as a Chrome trace
+// document, every event must be a well-formed complete ("X") event, every
+// rank must have at least one span for every phase of the frozen enum, and
+// the overlap ledger must have ridden along.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []obs.ChromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: empty trace", path)
+	}
+
+	phasesByRank := map[int]map[string]bool{}
+	reductions := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			return fmt.Errorf("event %d (%s): ph=%q, want complete event \"X\"", i, ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			return fmt.Errorf("event %d (%s): negative ts/dur (%v/%v)", i, ev.Name, ev.TS, ev.Dur)
+		}
+		switch ev.Cat {
+		case "phase":
+			m := phasesByRank[ev.TID]
+			if m == nil {
+				m = map[string]bool{}
+				phasesByRank[ev.TID] = m
+			}
+			m[ev.Name] = true
+		case "overlap":
+			reductions++
+		default:
+			return fmt.Errorf("event %d (%s): unknown category %q", i, ev.Name, ev.Cat)
+		}
+	}
+
+	var missing []string
+	for rank, got := range phasesByRank {
+		for _, p := range obs.Phases() {
+			if !got[p.String()] {
+				missing = append(missing, fmt.Sprintf("rank %d: %s", rank, p))
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("%s: phases with no spans: %v", path, missing)
+	}
+	if reductions == 0 {
+		return fmt.Errorf("%s: no reduction events in the overlap ledger", path)
+	}
+	fmt.Printf("ok: %d events, %d ranks, every phase covered on every rank, %d reductions\n",
+		len(doc.TraceEvents), len(phasesByRank), reductions)
+	return nil
+}

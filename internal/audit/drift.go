@@ -38,6 +38,11 @@ type AuditParams struct {
 	// ComparePolicy in compare.go).
 	CrossIterRatio   float64
 	CrossResidFactor float64
+
+	// Trace attaches a per-rank obs.Tracer to every engine the run builds.
+	// Tracing is strictly observational: a sweep must produce bit-identical
+	// iterates and ledgers with it on or off (TestAuditTraceInvariance).
+	Trace bool
 }
 
 // DefaultParams returns the acceptance-sweep tuning.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/engine"
 	"repro/internal/krylov"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/precond"
@@ -133,8 +134,15 @@ func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
 		}
 		var e engine.Engine
 		if spec.Kind == "seq" {
-			e = engine.NewSeq(pr.A, pc)
+			se := engine.NewSeq(pr.A, pc)
+			if ap.Trace {
+				se.Tr = obs.New(0)
+			}
+			e = se
 		} else {
+			// The sim engine records phase tags at solve time regardless;
+			// spans materialize only at replay (sim.Trace), so there is no
+			// per-run tracer to attach here.
 			e = sim.NewEngine(pr.A, pc)
 		}
 		res, err := solver(e, pr.B, opt)
@@ -152,6 +160,11 @@ func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
 		pt := partition.RowBlockByNNZ(pr.A, ranks)
 		f := comm.NewFabric(ranks, 0)
 		engines := comm.NewEngines(f, pr.A, pt, pcFactory(effectivePC(cfg)))
+		if ap.Trace {
+			for r, e := range engines {
+				e.SetTracer(obs.New(r))
+			}
+		}
 		bs := comm.Scatter(pt, pr.B)
 		opt.WaitDeadline = 10 * time.Second
 

@@ -1,0 +1,56 @@
+package audit
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestAuditTraceInvariance is the acceptance pin for the tracer's "strictly
+// observational" contract at sweep scale: 50 generated configs, each
+// executed with and without tracers attached, on both a bit-group spec and
+// a multi-rank comm spec, must produce bit-identical iterates, iteration
+// counts and counter ledgers.
+func TestAuditTraceInvariance(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	specs := []EngineSpec{
+		{Kind: "seq", Pool: ncpu},
+		{Kind: "comm", Ranks: 4, Pool: ncpu},
+	}
+	ap := DefaultParams()
+	ap.MaxIter = 400
+
+	for _, cfg := range Generate(acceptanceSeed, 50) {
+		for _, spec := range specs {
+			plain, perr := Execute(cfg, spec, ap)
+
+			traced := ap
+			traced.Trace = true
+			obsRun, oerr := Execute(cfg, spec, traced)
+
+			if (perr == nil) != (oerr == nil) {
+				t.Fatalf("%s on %s: error changed with tracing: %v vs %v", cfg, spec, perr, oerr)
+			}
+			if perr != nil {
+				continue
+			}
+			if plain.Res.Iterations != obsRun.Res.Iterations {
+				t.Fatalf("%s on %s: iterations %d vs %d with tracing",
+					cfg, spec, plain.Res.Iterations, obsRun.Res.Iterations)
+			}
+			if len(plain.X) != len(obsRun.X) {
+				t.Fatalf("%s on %s: iterate length differs", cfg, spec)
+			}
+			for i := range plain.X {
+				if plain.X[i] != obsRun.X[i] {
+					t.Fatalf("%s on %s: x[%d] = %g vs %g with tracing",
+						cfg, spec, i, plain.X[i], obsRun.X[i])
+				}
+			}
+			if !reflect.DeepEqual(plain.Ledger, obsRun.Ledger) {
+				t.Fatalf("%s on %s: counter ledger changed with tracing:\n%+v\n%+v",
+					cfg, spec, plain.Ledger, obsRun.Ledger)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -35,6 +36,10 @@ type Engine struct {
 
 	collSeq int // collective sequence counter, advanced identically on all ranks
 	haloSeq int
+
+	// tr is this rank's optional observability tracer (real wall clock).
+	// Nil means no tracing; every instrumentation site is nil-safe.
+	tr *obs.Tracer
 
 	// matrix powers kernel state (EnablePowersKernel / SpMVPowers)
 	powers        *partition.PowersPlan
@@ -75,6 +80,19 @@ func NewEngines(f *Fabric, a *sparse.CSR, pt partition.Partition, pcf PCFactory)
 // Rank returns this engine's rank id.
 func (e *Engine) Rank() int { return e.rank }
 
+// SetTracer attaches an observability tracer to this rank. Call before the
+// SPMD launch; the tracer records on the real (monotonic wall) clock.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tr = tr }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tr }
+
+// BeginPhase implements obs.PhaseTracker.
+func (e *Engine) BeginPhase(p obs.Phase) obs.Span { return e.tr.Begin(p) }
+
+// EndPhase implements obs.PhaseTracker.
+func (e *Engine) EndPhase(sp obs.Span) { e.tr.End(sp) }
+
 // NLocal implements engine.Engine.
 func (e *Engine) NLocal() int { return e.hi - e.lo }
 
@@ -87,6 +105,7 @@ func (e *Engine) SpMV(dst, src []float64) {
 	// Stage local values into the global-indexed scratch buffer.
 	copy(e.scratch[e.lo:e.hi], src)
 
+	halo := e.tr.Begin(obs.PhaseHaloWait)
 	seq := e.haloSeq
 	e.haloSeq++
 	// Send owned values each neighbor needs, reusing the parity buffer.
@@ -112,12 +131,15 @@ func (e *Engine) SpMV(dst, src []float64) {
 			e.scratch[col] = in[i]
 		}
 	}
+	e.tr.End(halo)
 
 	// Local rows through the shared parallel kernel layer. All ranks of this
 	// process share one worker pool (see internal/par), so R ranks never
 	// fan out to R×W goroutines.
+	sp := e.tr.Begin(obs.PhaseSpMV)
 	a := e.a
 	a.MulVecRangeInto(dst, e.scratch, e.lo, e.hi)
+	e.tr.End(sp)
 	localNNZ := a.RowPtr[e.hi] - a.RowPtr[e.lo]
 	e.c.SpMV++
 	e.c.HaloExchanges++
@@ -126,6 +148,8 @@ func (e *Engine) SpMV(dst, src []float64) {
 
 // ApplyPC implements engine.Engine.
 func (e *Engine) ApplyPC(dst, src []float64) {
+	sp := e.tr.Begin(obs.PhasePCApply)
+	defer e.tr.End(sp)
 	e.c.PCApply++
 	if e.pc == nil {
 		copy(dst, src)
@@ -138,24 +162,34 @@ func (e *Engine) ApplyPC(dst, src []float64) {
 
 // AllreduceSum implements engine.Engine. A fabric failure (deadline
 // exhausted with nothing recoverable) surfaces as a typed panic that
-// comm.RunErr converts back into the *FaultError.
+// comm.RunErr converts back into the *FaultError. The whole call is one
+// allreduce_wait span and a blocking ledger entry: nothing overlaps it.
 func (e *Engine) AllreduceSum(buf []float64) {
+	sp := e.tr.Begin(obs.PhaseAllreduceWait)
 	seq := e.collSeq
 	e.collSeq++
-	if err := e.f.allreduceSum(e.rank, seq, buf); err != nil {
+	err := e.f.allreduceSum(e.rank, seq, buf)
+	e.tr.EndBlocking(sp, len(buf))
+	if err != nil {
 		panic(commPanic{err})
 	}
 	e.c.Allreduce++
 	e.c.ReduceWords += len(buf)
 }
 
-// IallreduceSum implements engine.Engine.
+// IallreduceSum implements engine.Engine. The post is its own (short) span;
+// the returned request is wrapped so its eventual wait feeds the overlap
+// ledger with the measured post→complete interval and residual wait.
 func (e *Engine) IallreduceSum(buf []float64) engine.Request {
+	sp := e.tr.Begin(obs.PhaseIallreducePost)
+	h := e.tr.Post(len(buf))
 	seq := e.collSeq
 	e.collSeq++
 	e.c.Iallreduce++
 	e.c.ReduceWords += len(buf)
-	return e.f.iallreduceSum(e.rank, seq, buf)
+	req := e.f.iallreduceSum(e.rank, seq, buf)
+	e.tr.End(sp)
+	return engine.TraceRequest(req, e.tr, h)
 }
 
 // Charge implements engine.Engine.

@@ -18,6 +18,7 @@ package engine
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -94,12 +95,72 @@ type Engine interface {
 	Counters() *trace.Counters
 }
 
+// TraceRequest wraps a pending reduction so its wait is measured against the
+// tracer's overlap ledger: BeginWait when the solver blocks, EndWait when the
+// reduction delivers, AbortWait when the wait fails (deadline, fabric fault)
+// so a reduction that never completed cannot pollute the hidden-fraction
+// statistics. With a nil tracer the request is returned unwrapped. The
+// wrapper always satisfies DeadlineRequest; when the underlying request does
+// not, WaitTimeout degrades to an unbounded Wait — exactly what waitReduce
+// did for such requests before wrapping.
+func TraceRequest(req Request, tr *obs.Tracer, h int) Request {
+	if tr == nil {
+		return req
+	}
+	return tracedRequest{req: req, tr: tr, h: h}
+}
+
+type tracedRequest struct {
+	req Request
+	tr  *obs.Tracer
+	h   int
+}
+
+func (r tracedRequest) Wait() {
+	r.tr.BeginWait(r.h)
+	ok := false
+	defer func() {
+		if !ok {
+			r.tr.AbortWait(r.h)
+		}
+	}()
+	r.req.Wait()
+	ok = true
+	r.tr.EndWait(r.h)
+}
+
+func (r tracedRequest) WaitTimeout(d time.Duration) error {
+	r.tr.BeginWait(r.h)
+	ok := false
+	defer func() {
+		if !ok {
+			r.tr.AbortWait(r.h)
+		}
+	}()
+	if dr, isDeadline := r.req.(DeadlineRequest); isDeadline {
+		if err := dr.WaitTimeout(d); err != nil {
+			ok = true // not a panic: AbortWait explicitly, then report
+			r.tr.AbortWait(r.h)
+			return err
+		}
+	} else {
+		r.req.Wait()
+	}
+	ok = true
+	r.tr.EndWait(r.h)
+	return nil
+}
+
 // Seq is the single-rank reference engine: global vectors, immediate
 // reductions, no cost model beyond counters.
 type Seq struct {
 	A  *sparse.CSR
 	PC Preconditioner
 	C  trace.Counters
+
+	// Tr is the optional observability tracer. Nil (the default) means no
+	// tracing: every instrumentation site degrades to a nil check.
+	Tr *obs.Tracer
 }
 
 // NewSeq returns a sequential engine for A with the given preconditioner
@@ -114,11 +175,19 @@ func (e *Seq) NLocal() int { return e.A.Rows }
 // NGlobal implements Engine.
 func (e *Seq) NGlobal() int { return e.A.Rows }
 
+// BeginPhase implements obs.PhaseTracker.
+func (e *Seq) BeginPhase(p obs.Phase) obs.Span { return e.Tr.Begin(p) }
+
+// EndPhase implements obs.PhaseTracker.
+func (e *Seq) EndPhase(sp obs.Span) { e.Tr.End(sp) }
+
 // SpMV implements Engine. The product runs on the shared worker pool (see
 // internal/par); the counters record modeled work and are unaffected by how
 // many OS threads execute it.
 func (e *Seq) SpMV(dst, src []float64) {
+	sp := e.Tr.Begin(obs.PhaseSpMV)
 	e.A.MulVec(dst, src)
+	e.Tr.End(sp)
 	e.C.SpMV++
 	e.C.HaloExchanges++
 	e.C.SpMVFlops += 2 * float64(e.A.NNZ())
@@ -127,6 +196,7 @@ func (e *Seq) SpMV(dst, src []float64) {
 // SpMVPowers implements PowersKernel (trivially, with one rank there is no
 // communication to save).
 func (e *Seq) SpMVPowers(dst [][]float64, src []float64) {
+	sp := e.Tr.Begin(obs.PhaseSpMV)
 	cur := src
 	for j := range dst {
 		e.A.MulVec(dst[j], cur)
@@ -134,11 +204,14 @@ func (e *Seq) SpMVPowers(dst [][]float64, src []float64) {
 		e.C.SpMV++
 		e.C.SpMVFlops += 2 * float64(e.A.NNZ())
 	}
+	e.Tr.End(sp)
 	e.C.HaloExchanges++
 }
 
 // ApplyPC implements Engine.
 func (e *Seq) ApplyPC(dst, src []float64) {
+	sp := e.Tr.Begin(obs.PhasePCApply)
+	defer e.Tr.End(sp)
 	e.C.PCApply++
 	if e.PC == nil {
 		copy(dst, src)
@@ -149,8 +222,13 @@ func (e *Seq) ApplyPC(dst, src []float64) {
 	e.C.PCFlops += flops
 }
 
-// AllreduceSum implements Engine; with one rank it is a no-op on the data.
+// AllreduceSum implements Engine; with one rank it is a no-op on the data,
+// but it still enters the overlap ledger as a blocking reduction (hidden
+// fraction 0 by construction) so per-method reduction mixes stay comparable
+// across runtimes.
 func (e *Seq) AllreduceSum(buf []float64) {
+	sp := e.Tr.Begin(obs.PhaseAllreduceWait)
+	e.Tr.EndBlocking(sp, len(buf))
 	e.C.Allreduce++
 	e.C.ReduceWords += len(buf)
 }
@@ -161,9 +239,12 @@ func (seqRequest) Wait() {}
 
 // IallreduceSum implements Engine.
 func (e *Seq) IallreduceSum(buf []float64) Request {
+	sp := e.Tr.Begin(obs.PhaseIallreducePost)
+	h := e.Tr.Post(len(buf))
+	e.Tr.End(sp)
 	e.C.Iallreduce++
 	e.C.ReduceWords += len(buf)
-	return seqRequest{}
+	return TraceRequest(seqRequest{}, e.Tr, h)
 }
 
 // Charge implements Engine.

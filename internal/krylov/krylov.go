@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -185,8 +186,11 @@ const divergeFactor = 1e4
 
 // newMonitor computes ‖b‖ (one setup allreduce) and returns the monitor.
 func newMonitor(e engine.Engine, b []float64, opt Options) *monitor {
+	ph := phasesOf(e)
+	sp := ph.begin(obs.PhaseLocalDots)
 	buf := []float64{vec.Dot(b, b)}
 	chargeDots(e, len(b), 1)
+	ph.end(sp)
 	e.AllreduceSum(buf)
 	return &monitor{
 		e:    e,
@@ -296,6 +300,34 @@ func waitReduce(req engine.Request, deadline time.Duration) error {
 	}
 	req.Wait()
 	return nil
+}
+
+// phases is the solver-side handle on the engine's optional
+// obs.PhaseTracker capability. Solvers bracket their local hot sections
+// (dot batches, Gram assembly, recurrence updates, recovery bookkeeping)
+// with begin/end; on engines without a tracker — or with tracing off — the
+// calls degrade to a nil check. The engine kernels (SpMV, ApplyPC, the
+// reductions) span themselves, so solver-side spans never nest inside them.
+type phases struct{ pt obs.PhaseTracker }
+
+// phasesOf captures the engine's phase-tracking capability once per solve
+// (one type assertion, not one per span).
+func phasesOf(e engine.Engine) phases {
+	pt, _ := e.(obs.PhaseTracker)
+	return phases{pt}
+}
+
+func (p phases) begin(ph obs.Phase) obs.Span {
+	if p.pt == nil {
+		return obs.Span{}
+	}
+	return p.pt.BeginPhase(ph)
+}
+
+func (p phases) end(sp obs.Span) {
+	if p.pt != nil {
+		p.pt.EndPhase(sp)
+	}
 }
 
 // chargeAxpys accounts k axpy-like updates of length n: 2 flops and 24 bytes

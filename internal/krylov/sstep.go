@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/scalarwork"
 	"repro/internal/vec"
 )
@@ -31,6 +32,7 @@ type sstepConfig struct {
 // sstepState owns the vectors of one s-step solve.
 type sstepState struct {
 	e    engine.Engine
+	ph   phases
 	s, n int
 	cfg  sstepConfig
 
@@ -64,7 +66,7 @@ type sstepState struct {
 
 func newSStepState(e engine.Engine, opt Options, cfg sstepConfig) *sstepState {
 	s, n := opt.S, e.NLocal()
-	st := &sstepState{e: e, s: s, n: n, cfg: cfg, sigma: 1}
+	st := &sstepState{e: e, ph: phasesOf(e), s: s, n: n, cfg: cfg, sigma: 1}
 	st.x = zerosLike(n, opt.X0)
 
 	nPow := s + 1
@@ -166,8 +168,10 @@ func (st *sstepState) estimateSigma(b []float64) {
 		} else {
 			copy(w, t)
 		}
+		sp := st.ph.begin(obs.PhaseLocalDots)
 		buf := []float64{vec.Dot(v, w), vec.Dot(v, v), vec.Dot(w, w)}
 		chargeDots(e, n, 3)
+		st.ph.end(sp)
 		e.AllreduceSum(buf)
 		// A poisoned reduction (e.g. an injected bit-flip surviving into the
 		// setup allreduce) can land NaN/Inf in ANY of the three moments, or
@@ -180,10 +184,12 @@ func (st *sstepState) estimateSigma(b []float64) {
 		}
 		lambda = math.Abs(buf[0]) / buf[1]
 		scale := 1 / math.Sqrt(buf[2])
+		sp = st.ph.begin(obs.PhaseRecurrenceLC)
 		for i := range v {
 			v[i] = w[i] * scale
 		}
 		chargeAxpys(e, n, 1)
+		st.ph.end(sp)
 	}
 	// A modest overestimate is harmless (it only shrinks the basis).
 	st.sigma = 1.25 * lambda
@@ -195,6 +201,8 @@ func (st *sstepState) estimateSigma(b []float64) {
 // packDots computes the fused reduction payload from the current powers and
 // direction blocks: moments, cross-Gram, Pᵀr, and the two norm terms.
 func (st *sstepState) packDots() {
+	sp := st.ph.begin(obs.PhaseGram)
+	defer st.ph.end(sp)
 	s, n := st.s, st.n
 	mu := st.pay.Mu(st.buf)
 	for m := 0; m < 2*s; m++ {
@@ -233,6 +241,8 @@ func (st *sstepState) norm2(mode NormMode) float64 {
 // buildDirections forms Q = K + P·B and AQm[k] = (M⁻¹A)^{k+1}K + APm[k]·B
 // with the fused init+LC kernel (one pass per column).
 func (st *sstepState) buildDirections(b []float64) {
+	sp := st.ph.begin(obs.PhaseRecurrenceLC)
+	defer st.ph.end(sp)
 	s := st.s
 	vec.InitAddScaledBlock(st.qU, st.powU[:s], st.pU, b)
 	if st.cfg.precond {
@@ -290,8 +300,10 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 	// The same sequence re-seeds the solve after a basis breakdown.
 	bootstrap := func() engine.Request {
 		e.SpMV(st.powR[0], st.x)
+		sp := st.ph.begin(obs.PhaseRecurrenceLC)
 		vec.Sub(st.powR[0], b, st.powR[0])
 		chargeAxpys(e, st.n, 1)
+		st.ph.end(sp)
 		if cfg.precond {
 			e.ApplyPC(st.powU[0], st.powR[0])
 		}
@@ -319,6 +331,7 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 	// recovery). It recomputes the true residual via bootstrap, which is a
 	// residual replacement by construction.
 	reseed := func() {
+		sp := st.ph.begin(obs.PhaseRecovery)
 		st.sw.Reset()
 		st.pU.Zero()
 		st.pR.Zero()
@@ -326,6 +339,7 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 			st.apU[k].Zero()
 			st.apR[k].Zero()
 		}
+		st.ph.end(sp)
 		req = bootstrap()
 	}
 
@@ -371,11 +385,13 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 				// basis and re-arm the guards.
 				recoveries++
 				lastRecoveryRel = bestRel
+				sp := st.ph.begin(obs.PhaseRecovery)
 				c := e.Counters()
 				c.Recoveries++
 				c.ResidualReplacements++
 				mon.rearm(bestRel)
 				copy(st.x, bestX)
+				st.ph.end(sp)
 				reseed()
 				continue
 			}
@@ -431,8 +447,10 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 		st.buildDirections(coeffs.B)
 
 		// x += Q·(α/σ).
+		sp := st.ph.begin(obs.PhaseRecurrenceLC)
 		vec.AccumulateColumns(st.x, st.qU, xAlpha)
 		chargeAxpys(e, st.n, s)
+		st.ph.end(sp)
 
 		// Advance the residual powers. Periodic residual replacement
 		// forces the classical recompute path for this outer iteration.
@@ -453,8 +471,10 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 			// rebuild powers 1..s with SPMVs (+PCs when preconditioned).
 			tmp := st.powR[0]
 			e.SpMV(tmp, st.x)
+			sp = st.ph.begin(obs.PhaseRecurrenceLC)
 			vec.Sub(st.powR[0], b, tmp)
 			chargeAxpys(e, st.n, 1)
+			st.ph.end(sp)
 			if cfg.precond {
 				e.ApplyPC(st.powU[0], st.powR[0])
 			}
@@ -464,6 +484,7 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 			// every maintained image block (j = 0 for Alg. 4; j = 0..s for
 			// the pipelined Alg. 5/6). σ·α_true is exactly the solved
 			// coeffs.Alpha (see above), so no extra scaling is needed.
+			sp = st.ph.begin(obs.PhaseRecurrenceLC)
 			for k := range st.aqU {
 				vec.SubtractColumns(st.powU[k], st.aqU[k], alpha)
 				if cfg.precond {
@@ -475,6 +496,7 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 				spaces = 2
 			}
 			chargeAxpys(e, st.n, spaces*len(st.aqU)*s)
+			st.ph.end(sp)
 			if !cfg.pipelined {
 				// Alg. 4: only r was advanced; powers 1..s need s SPMVs.
 				st.computePowers(1, s)

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto). We emit only "X" (complete) events: one per
+// timeline span, with ts/dur in microseconds, pid distinguishing solves and
+// tid distinguishing ranks.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes per-rank summaries as a Chrome trace-event
+// JSON document. Each summary becomes one tid (its rank); pid groups the
+// whole set of summaries under one process id, so multiple solves can share
+// a file by calling this once per solve with distinct pids — use
+// AppendChromeEvents + FinishChromeTrace for that. Timestamps are the
+// tracer's nanosecond clock converted to microseconds.
+func WriteChromeTrace(w io.Writer, pid int, sums []Summary) error {
+	return writeChrome(w, AppendChromeEvents(nil, pid, sums))
+}
+
+// AppendChromeEvents converts summaries into trace events appended to dst,
+// tagging them with the given pid. It does not write anything.
+func AppendChromeEvents(dst []ChromeEvent, pid int, sums []Summary) []ChromeEvent {
+	for _, s := range sums {
+		for _, ev := range s.Events {
+			ce := ChromeEvent{
+				Name: ev.Phase.String(),
+				Cat:  "phase",
+				Ph:   "X",
+				TS:   float64(ev.StartNS) / 1e3,
+				Dur:  float64(ev.EndNS-ev.StartNS) / 1e3,
+				PID:  pid,
+				TID:  s.Rank,
+			}
+			dst = append(dst, ce)
+		}
+		// The ledger rides along as zero-duration-agnostic complete events on
+		// the same track category so reductions are inspectable in the viewer.
+		for i, r := range s.Reductions {
+			dst = append(dst, ChromeEvent{
+				Name: "reduction",
+				Cat:  "overlap",
+				Ph:   "X",
+				TS:   float64(r.PostNS) / 1e3,
+				Dur:  float64(r.IntervalNS()) / 1e3,
+				PID:  pid,
+				TID:  s.Rank,
+				Args: map[string]any{
+					"index":           i,
+					"words":           r.Words,
+					"blocking":        r.Blocking,
+					"wait_us":         float64(r.WaitNS()) / 1e3,
+					"hidden_fraction": r.HiddenFraction(),
+				},
+			})
+		}
+	}
+	return dst
+}
+
+// FinishChromeTrace writes accumulated events as one trace document.
+func FinishChromeTrace(w io.Writer, events []ChromeEvent) error {
+	return writeChrome(w, events)
+}
+
+func writeChrome(w io.Writer, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// fakeClock is a manually advanced nanosecond clock for deterministic tests.
+type fakeClock struct{ now int64 }
+
+func (c *fakeClock) fn() func() int64 { return func() int64 { return c.now } }
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin(PhaseSpMV)
+	if sp.Live() {
+		t.Fatal("span from nil tracer must be dead")
+	}
+	tr.End(sp)
+	tr.AddSpanAt(PhaseGram, 0, 10)
+	h := tr.Post(3)
+	tr.BeginWait(h)
+	tr.EndWait(h)
+	tr.AbortWait(h)
+	tr.EndBlocking(sp, 2)
+	tr.AddReductionAt(Reduction{})
+	if got := tr.Summary(); got.Overlap.Posted != 0 || len(got.Events) != 0 {
+		t.Fatalf("nil tracer summary not empty: %+v", got)
+	}
+	if tr.Now() != 0 || tr.Rank() != 0 {
+		t.Fatal("nil tracer clock/rank must be zero")
+	}
+}
+
+func TestPhaseNamesFrozen(t *testing.T) {
+	want := []string{
+		"spmv", "pc_apply", "local_dots", "gram", "recurrence_lc",
+		"allreduce_wait", "iallreduce_post", "halo_wait", "recovery",
+	}
+	ps := Phases()
+	if len(ps) != len(want) {
+		t.Fatalf("NumPhases = %d, want %d", len(ps), len(want))
+	}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("phase %d = %q, want %q", i, p.String(), want[i])
+		}
+	}
+	if Phase(200).String() != "phase(200)" {
+		t.Errorf("out-of-range phase rendering broke: %q", Phase(200).String())
+	}
+}
+
+func TestSpanAccounting(t *testing.T) {
+	ck := &fakeClock{}
+	tr := New(3, WithClock(ck.fn()))
+	ck.now = 100
+	sp := tr.Begin(PhaseSpMV)
+	ck.now = 350
+	tr.End(sp)
+
+	s := tr.Summary()
+	if s.Rank != 3 {
+		t.Fatalf("rank = %d", s.Rank)
+	}
+	st := s.Phases[PhaseSpMV]
+	if st.Count != 1 || st.TotalNS != 250 || st.MaxNS != 250 {
+		t.Fatalf("spmv stat = %+v", st)
+	}
+	if len(s.Events) != 1 || s.Events[0] != (Event{PhaseSpMV, 100, 350}) {
+		t.Fatalf("events = %+v", s.Events)
+	}
+	// 250ns falls in the first (≤1µs) bucket.
+	if st.Buckets[0] != 1 {
+		t.Fatalf("bucket placement: %+v", st.Buckets)
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	ck := &fakeClock{}
+	tr := New(0, WithClock(ck.fn()), WithCapacity(4, 2))
+	for i := 0; i < 6; i++ {
+		tr.AddSpanAt(PhaseLocalDots, int64(i), int64(i)+1)
+	}
+	s := tr.Summary()
+	if s.DroppedEvents != 2 || len(s.Events) != 4 {
+		t.Fatalf("dropped=%d len=%d", s.DroppedEvents, len(s.Events))
+	}
+	// Oldest-first: events 2,3,4,5 survive.
+	for i, ev := range s.Events {
+		if ev.StartNS != int64(i+2) {
+			t.Fatalf("event %d start=%d, want %d", i, ev.StartNS, i+2)
+		}
+	}
+	if s.Phases[PhaseLocalDots].Count != 6 {
+		t.Fatal("stats must survive ring overwrites")
+	}
+}
+
+func TestOverlapLedgerNonBlocking(t *testing.T) {
+	ck := &fakeClock{}
+	tr := New(0, WithClock(ck.fn()))
+
+	// Post at t=0; compute 800ns under it; wait from 800 to 1000.
+	h := tr.Post(5)
+	sp := tr.Begin(PhaseSpMV)
+	ck.now = 800
+	tr.End(sp)
+	tr.BeginWait(h)
+	ck.now = 1000
+	tr.EndWait(h)
+
+	s := tr.Summary()
+	if len(s.Reductions) != 1 {
+		t.Fatalf("ledger = %+v", s.Reductions)
+	}
+	r := s.Reductions[0]
+	if r.Words != 5 || r.Blocking {
+		t.Fatalf("reduction = %+v", r)
+	}
+	if r.IntervalNS() != 1000 || r.WaitNS() != 200 || r.ComputeUnderNS != 800 {
+		t.Fatalf("reduction timings = %+v", r)
+	}
+	if got := r.HiddenFraction(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("hidden fraction = %v, want 0.8", got)
+	}
+	if got := s.HiddenFraction(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("solve hidden fraction = %v, want 0.8", got)
+	}
+	// The residual wait must also appear as an allreduce_wait span.
+	aw := s.Phases[PhaseAllreduceWait]
+	if aw.Count != 1 || aw.TotalNS != 200 {
+		t.Fatalf("allreduce_wait stat = %+v", aw)
+	}
+}
+
+func TestOverlapLedgerBlockingIsZero(t *testing.T) {
+	ck := &fakeClock{}
+	tr := New(0, WithClock(ck.fn()))
+	sp := tr.Begin(PhaseAllreduceWait)
+	ck.now = 500
+	tr.EndBlocking(sp, 2)
+
+	s := tr.Summary()
+	if s.Overlap.Blocking != 1 || s.Overlap.Posted != 0 {
+		t.Fatalf("overlap = %+v", s.Overlap)
+	}
+	if s.Overlap.BlockingWaitNS != 500 {
+		t.Fatalf("blocking wait = %d", s.Overlap.BlockingWaitNS)
+	}
+	if s.Reductions[0].HiddenFraction() != 0 {
+		t.Fatal("blocking reduction must report hidden fraction 0")
+	}
+	if s.HiddenFraction() != 0 {
+		t.Fatal("solve with only blocking reductions must report 0")
+	}
+}
+
+func TestAbortWaitDropsEntry(t *testing.T) {
+	ck := &fakeClock{}
+	tr := New(0, WithClock(ck.fn()))
+	h := tr.Post(1)
+	ck.now = 100
+	tr.AbortWait(h)
+	tr.EndWait(h) // stale handle: must be ignored
+	s := tr.Summary()
+	if s.Overlap.Posted != 0 || len(s.Reductions) != 0 {
+		t.Fatalf("aborted reduction leaked: %+v", s.Overlap)
+	}
+}
+
+func TestLedgerRingKeepsTotals(t *testing.T) {
+	ck := &fakeClock{}
+	tr := New(0, WithClock(ck.fn()), WithCapacity(8, 2))
+	for i := 0; i < 5; i++ {
+		h := tr.Post(1)
+		ck.now += 100
+		tr.BeginWait(h)
+		ck.now += 10
+		tr.EndWait(h)
+	}
+	s := tr.Summary()
+	if len(s.Reductions) != 2 || s.DroppedReds != 3 {
+		t.Fatalf("ring len=%d dropped=%d", len(s.Reductions), s.DroppedReds)
+	}
+	if s.Overlap.Posted != 5 || s.Overlap.IntervalNS != 5*110 || s.Overlap.WaitNS != 5*10 {
+		t.Fatalf("totals must survive ledger overwrites: %+v", s.Overlap)
+	}
+}
+
+func TestComputeUnderExcludesWaitPhases(t *testing.T) {
+	ck := &fakeClock{}
+	tr := New(0, WithClock(ck.fn()))
+	h := tr.Post(1)
+	// 100ns of spmv (compute) + 100ns of halo_wait (not compute) under it.
+	sp := tr.Begin(PhaseSpMV)
+	ck.now = 100
+	tr.End(sp)
+	sp = tr.Begin(PhaseHaloWait)
+	ck.now = 200
+	tr.End(sp)
+	tr.BeginWait(h)
+	ck.now = 250
+	tr.EndWait(h)
+	r := tr.Summary().Reductions[0]
+	if r.ComputeUnderNS != 100 {
+		t.Fatalf("compute under = %d, want 100 (halo_wait excluded)", r.ComputeUnderNS)
+	}
+}
+
+func TestMergeSummaries(t *testing.T) {
+	ck := &fakeClock{}
+	a := New(0, WithClock(ck.fn()))
+	b := New(1, WithClock(ck.fn()))
+	a.AddSpanAt(PhaseSpMV, 0, 10)
+	b.AddSpanAt(PhaseSpMV, 0, 30)
+	b.AddReductionAt(Reduction{Words: 1, PostNS: 0, WaitStartNS: 50, DoneNS: 100})
+	m := MergeSummaries([]Summary{a.Summary(), b.Summary()})
+	if m.Phases[PhaseSpMV].Count != 2 || m.Phases[PhaseSpMV].TotalNS != 40 {
+		t.Fatalf("merged spmv = %+v", m.Phases[PhaseSpMV])
+	}
+	if m.Overlap.Posted != 1 || len(m.Reductions) != 1 || len(m.Events) != 2 {
+		t.Fatalf("merged overlap = %+v", m.Overlap)
+	}
+	if math.Abs(m.HiddenFraction()-0.5) > 1e-12 {
+		t.Fatalf("merged hidden fraction = %v", m.HiddenFraction())
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	ck := &fakeClock{}
+	tr := New(2, WithClock(ck.fn()))
+	tr.AddSpanAt(PhaseSpMV, 1000, 3000)
+	tr.AddReductionAt(Reduction{Words: 4, PostNS: 0, WaitStartNS: 500, DoneNS: 2000})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, 7, []Summary{tr.Summary()}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %+v", doc.TraceEvents)
+	}
+	span := doc.TraceEvents[0]
+	if span.Name != "spmv" || span.Ph != "X" || span.TS != 1 || span.Dur != 2 ||
+		span.PID != 7 || span.TID != 2 {
+		t.Fatalf("span event = %+v", span)
+	}
+	if doc.TraceEvents[1].Name != "reduction" {
+		t.Fatalf("ledger event = %+v", doc.TraceEvents[1])
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FinishChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents must be an array even when empty: %s", buf.String())
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	var st PhaseStat
+	st.add(int64(5e5))  // 0.5ms → ≤1e-3 bucket (index 3)
+	st.add(int64(2e10)) // 20s → +Inf bucket
+	if st.Buckets[3] != 1 {
+		t.Fatalf("0.5ms bucket: %+v", st.Buckets)
+	}
+	if st.Buckets[len(DurationBuckets)] != 1 {
+		t.Fatalf("+Inf bucket: %+v", st.Buckets)
+	}
+}
+
+func TestConcurrentTracing(t *testing.T) {
+	tr := New(0)
+	var wg sync.WaitGroup
+	const G, N = 8, 200
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				sp := tr.Begin(PhaseLocalDots)
+				tr.End(sp)
+				h := tr.Post(1)
+				tr.BeginWait(h)
+				tr.EndWait(h)
+			}
+		}()
+	}
+	wg.Wait()
+	s := tr.Summary()
+	if s.Phases[PhaseLocalDots].Count != G*N {
+		t.Fatalf("span count = %d", s.Phases[PhaseLocalDots].Count)
+	}
+	if s.Overlap.Posted != G*N {
+		t.Fatalf("posted = %d", s.Overlap.Posted)
+	}
+}

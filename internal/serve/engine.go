@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math"
 	"time"
 
@@ -12,8 +13,19 @@ import (
 	"repro/internal/comm"
 	"repro/internal/engine"
 	"repro/internal/krylov"
+	"repro/internal/obs"
 	"repro/internal/precond"
 	"repro/internal/sparse"
+)
+
+// jobEventCapacity and jobLedgerCapacity bound each rank's tracer rings for
+// service jobs. Phase and overlap aggregates accumulate independently of ring
+// size — only the raw event/reduction tails are bounded — and every retained
+// job keeps its merged summary, so small rings keep RetainJobs × ranks memory
+// negligible.
+const (
+	jobEventCapacity  = 64
+	jobLedgerCapacity = 256
 )
 
 // cancelPanic unwinds a solver whose job context ended. The engine interface
@@ -49,6 +61,24 @@ func (e *cancelEngine) AllreduceSum(buf []float64) { e.poll(); e.Engine.Allreduc
 func (e *cancelEngine) IallreduceSum(buf []float64) engine.Request {
 	e.poll()
 	return e.Engine.IallreduceSum(buf)
+}
+
+// BeginPhase/EndPhase forward the optional obs.PhaseTracker capability.
+// Embedding the Engine interface does not promote optional interfaces through
+// the wrapper's static type, so without these the solver's phase spans would
+// silently vanish whenever a job runs under cancellation wrapping — which is
+// every job.
+func (e *cancelEngine) BeginPhase(p obs.Phase) obs.Span {
+	if pt, ok := e.Engine.(obs.PhaseTracker); ok {
+		return pt.BeginPhase(p)
+	}
+	return obs.Span{}
+}
+
+func (e *cancelEngine) EndPhase(sp obs.Span) {
+	if pt, ok := e.Engine.(obs.PhaseTracker); ok {
+		pt.EndPhase(sp)
+	}
 }
 
 // saneRel sanitizes a residual norm for the JSON event boundary:
@@ -173,14 +203,18 @@ func (m *Manager) runSeq(j *Job, ctx context.Context, entry *Entry, pr bench.Pro
 	}
 
 	eng := engine.NewSeq(pr.A, pc)
+	eng.Tr = obs.New(0, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
 	*progressEng = eng
 	wrapped := &cancelEngine{Engine: eng, ctx: ctx}
 
 	res, err := m.solveRecovering(wrapped, pr.B, solver, opt)
+	sum := eng.Tr.Summary()
 	j.mu.Lock()
 	j.counters = *eng.Counters()
+	j.obsSum = sum
 	j.mu.Unlock()
 	m.met.AddCounters(eng.Counters())
+	m.met.AddObs(sum)
 	m.classify(j, ctx, res, err)
 }
 
@@ -213,6 +247,11 @@ func (m *Manager) runComm(j *Job, ctx context.Context, entry *Entry, pr bench.Pr
 	pt := entry.Partition(ranks)
 	f := comm.NewFabric(ranks, 0).WithRecvTimeout(2*time.Second, 3)
 	engines := comm.NewEngines(f, pr.A, pt, factory)
+	tracers := make([]*obs.Tracer, ranks)
+	for r, e := range engines {
+		tracers[r] = obs.New(r, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
+		e.SetTracer(tracers[r])
+	}
 	bs := comm.Scatter(pt, pr.B)
 	opt.WaitDeadline = 10 * time.Second
 	*progressEng = engines[0]
@@ -236,13 +275,20 @@ func (m *Manager) runComm(j *Job, ctx context.Context, entry *Entry, pr bench.Pr
 	})
 
 	agg := engines[0].Counters()
+	sums := make([]obs.Summary, ranks)
+	for r, tr := range tracers {
+		sums[r] = tr.Summary()
+	}
+	sum := obs.MergeSummaries(sums)
 	j.mu.Lock()
 	j.counters = *agg
+	j.obsSum = sum
 	j.mu.Unlock()
-	// Service-level aggregate folds every rank's counters.
+	// Service-level aggregate folds every rank's counters and spans.
 	for _, e := range engines {
 		m.met.AddCounters(e.Counters())
 	}
+	m.met.AddObs(sum)
 	if err := f.Close(); err != nil {
 		// A cancelled SPMD solve legitimately leaves mailbox entries behind;
 		// count it, don't fail the drain.
@@ -331,7 +377,32 @@ func (m *Manager) finishJob(j *Job, state JobState, res *krylov.Result, err erro
 	}
 	j.mu.Lock()
 	j.res, j.err = res, err
+	overlap := j.obsSum.Overlap
 	j.mu.Unlock()
+	if overlap.Posted > 0 {
+		ev.OverlapEfficiency = overlap.HiddenFraction()
+	}
 	m.met.countJob(state)
+
+	lvl := slog.LevelInfo
+	if state != JobConverged {
+		lvl = slog.LevelWarn
+	}
+	attrs := []any{
+		"job", j.ID, "method", j.Req.Method, "ranks", j.Req.Ranks,
+		"outcome", string(state),
+		"duration", time.Since(j.submitted).Round(time.Microsecond),
+	}
+	if res != nil {
+		attrs = append(attrs, "iterations", res.Iterations)
+	}
+	if overlap.Posted > 0 {
+		attrs = append(attrs, "overlap_efficiency", overlap.HiddenFraction())
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	m.cfg.Log.Log(context.Background(), lvl, "job finished", attrs...)
+
 	j.finish(state, ev)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -20,6 +21,7 @@ import (
 //	PUT  /v1/matrices/{name}  upload a MatrixMarket body (plain or gzip)
 //	GET  /healthz             liveness; 503 while draining
 //	GET  /metrics             Prometheus text format
+//	GET  /debug/pprof/...     runtime profiles, only when Config.EnablePprof
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -31,6 +33,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("PUT /v1/matrices/{name}", s.handleUpload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		// net/http/pprof self-registers only on http.DefaultServeMux; the
+		// daemon uses its own mux, so the handlers are mounted explicitly —
+		// and only when the operator opted in.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // apiError is the JSON error envelope.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/krylov"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -93,6 +94,12 @@ type Event struct {
 	Error      string    `json:"error,omitempty"`
 	XHash      string    `json:"x_hash,omitempty"`
 	X          []float64 `json:"x,omitempty"`
+	// OverlapEfficiency is the measured hidden fraction over the job's
+	// non-blocking reductions (1 - wait/interval, from the overlap ledger).
+	// Present on the result event when the solve posted at least one
+	// non-blocking reduction; a purely blocking method reports nothing to
+	// hide and the field is omitted.
+	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"`
 }
 
 // maxRetainedEvents bounds the per-job event ring replayed to late
@@ -112,6 +119,7 @@ type Job struct {
 	res      *krylov.Result
 	err      error
 	counters trace.Counters
+	obsSum   obs.Summary // merged trace summary across the job's ranks
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -141,6 +149,14 @@ func (j *Job) Counters() trace.Counters {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.counters
+}
+
+// TraceSummary returns the job's merged phase/overlap trace summary across
+// all ranks (complete once done).
+func (j *Job) TraceSummary() obs.Summary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.obsSum
 }
 
 // Cancel asks a queued or running job to stop; it ends in JobCanceled.

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -75,6 +76,10 @@ type Metrics struct {
 
 	mu      sync.Mutex
 	kernels trace.Counters // aggregate over finished jobs
+
+	obsMu   sync.Mutex
+	phases  [obs.NumPhases]obs.PhaseStat // per-phase duration aggregate
+	overlap obs.OverlapStats             // overlap-ledger aggregate
 }
 
 // NewMetrics builds an empty ledger.
@@ -85,6 +90,17 @@ func (m *Metrics) AddCounters(c *trace.Counters) {
 	m.mu.Lock()
 	m.kernels.Add(c)
 	m.mu.Unlock()
+}
+
+// AddObs folds one finished job's merged trace summary into the service-wide
+// phase-duration histograms and overlap ledger.
+func (m *Metrics) AddObs(s obs.Summary) {
+	m.obsMu.Lock()
+	for p := range m.phases {
+		m.phases[p].Merge(s.Phases[p])
+	}
+	m.overlap.Merge(s.Overlap)
+	m.obsMu.Unlock()
 }
 
 // ObserveLatency records one job's end-to-end latency (submit to finish).
@@ -134,6 +150,40 @@ func (m *Metrics) WritePrometheus(w io.Writer, mgr *Manager, reg *Registry) {
 
 	fmt.Fprintf(w, "# TYPE solverd_request_seconds histogram\n")
 	m.latency.write(w, "solverd_request_seconds")
+
+	m.obsMu.Lock()
+	phases := m.phases
+	overlap := m.overlap
+	m.obsMu.Unlock()
+	fmt.Fprintf(w, "# HELP solverd_phase_seconds Traced per-phase durations aggregated over finished jobs and ranks.\n")
+	fmt.Fprintf(w, "# TYPE solverd_phase_seconds histogram\n")
+	for _, p := range obs.Phases() {
+		st := phases[p]
+		var cum int64
+		for i, le := range obs.DurationBuckets {
+			cum += st.Buckets[i]
+			fmt.Fprintf(w, "solverd_phase_seconds_bucket{phase=%q,le=\"%s\"} %d\n",
+				p.String(), strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += st.Buckets[len(obs.DurationBuckets)]
+		fmt.Fprintf(w, "solverd_phase_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", p.String(), cum)
+		fmt.Fprintf(w, "solverd_phase_seconds_sum{phase=%q} %g\n", p.String(), float64(st.TotalNS)/1e9)
+		fmt.Fprintf(w, "solverd_phase_seconds_count{phase=%q} %d\n", p.String(), st.Count)
+	}
+
+	fmt.Fprintf(w, "# HELP solverd_overlap_reductions_total Reductions recorded in the overlap ledger, by kind.\n")
+	fmt.Fprintf(w, "# TYPE solverd_overlap_reductions_total counter\n")
+	fmt.Fprintf(w, "solverd_overlap_reductions_total{kind=\"posted\"} %d\n", overlap.Posted)
+	fmt.Fprintf(w, "solverd_overlap_reductions_total{kind=\"blocking\"} %d\n", overlap.Blocking)
+	fmt.Fprintf(w, "# HELP solverd_overlap_interval_seconds_total Post-to-complete time summed over non-blocking reductions.\n")
+	fmt.Fprintf(w, "# TYPE solverd_overlap_interval_seconds_total counter\n")
+	fmt.Fprintf(w, "solverd_overlap_interval_seconds_total %g\n", float64(overlap.IntervalNS)/1e9)
+	fmt.Fprintf(w, "solverd_overlap_wait_seconds_total %g\n", float64(overlap.WaitNS)/1e9)
+	fmt.Fprintf(w, "solverd_overlap_blocking_wait_seconds_total %g\n", float64(overlap.BlockingWaitNS)/1e9)
+	fmt.Fprintf(w, "solverd_overlap_compute_under_seconds_total %g\n", float64(overlap.ComputeUnderNS)/1e9)
+	fmt.Fprintf(w, "# HELP solverd_overlap_efficiency Measured hidden fraction: 1 - wait/interval over all posted reductions.\n")
+	fmt.Fprintf(w, "# TYPE solverd_overlap_efficiency gauge\n")
+	fmt.Fprintf(w, "solverd_overlap_efficiency %g\n", overlap.HiddenFraction())
 
 	fmt.Fprintf(w, "# HELP solverd_kernel_* Kernel-counter aggregate over finished jobs (trace.Counters).\n")
 	m.mu.Lock()

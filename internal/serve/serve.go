@@ -33,7 +33,7 @@ package serve
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -61,8 +61,14 @@ type Config struct {
 	MaxJobRuntime time.Duration
 	// RetainJobs bounds how many finished jobs stay queryable. Default 512.
 	RetainJobs int
-	// Logf receives service logs; nil means log.Printf.
-	Logf func(format string, args ...any)
+	// Log receives structured service logs — one record per finished job
+	// (id, method, ranks, outcome, duration, overlap efficiency) plus the
+	// drain-time metrics flush. Nil means slog.Default().
+	Log *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// the profiling plane is opt-in (cmd/solverd's -pprof flag) so a public
+	// deployment does not expose heap and CPU profiles unasked.
+	EnablePprof bool
 
 	// testHookBeforeRun, when set by in-package tests, runs in the worker
 	// just before a job executes — a deterministic way to hold the pool busy
@@ -86,8 +92,8 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 512
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Log == nil {
+		c.Log = slog.Default()
 	}
 	return c
 }
@@ -135,7 +141,7 @@ func (s *Server) Serve(l net.Listener) error {
 // Drain is the graceful-shutdown sequence: stop admissions (new submissions
 // get 503), let queued and running jobs finish until ctx expires, cancel
 // whatever is still in flight and wait for it to unwind, stop the workers,
-// shut the HTTP server down, and flush final metrics through Config.Logf.
+// shut the HTTP server down, and flush final metrics through Config.Log.
 // Drain is idempotent; concurrent calls share the same shutdown.
 func (s *Server) Drain(ctx context.Context) error {
 	s.Jobs.Drain(ctx)
@@ -156,7 +162,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // scraper missed the last interval.
 func (s *Server) flushFinalMetrics() {
 	snap := s.Metrics.Snapshot(s.Jobs, s.Registry)
-	s.cfg.Logf("serve: final metrics: %s", snap)
+	s.cfg.Log.Info("serve: final metrics", "metrics", snap)
 }
 
 // fmtDuration renders a Retry-After value in whole seconds, at least 1.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -31,6 +32,13 @@ type event struct {
 	p2pRounds    int // PC-internal neighbor exchanges
 	allreduces   int // PC-internal reductions
 	depth        int // evMPK: number of chained products
+
+	// phase tags evLocal events with the solver phase active when the work
+	// was charged (obs.NumPhases = untagged). The wall clock never enters
+	// the recording; phases materialize into timeline spans at replay time
+	// on the virtual clock, which is what keeps sim timelines
+	// bit-reproducible.
+	phase obs.Phase
 }
 
 // Engine runs real numerics on global vectors while recording cost events.
@@ -49,6 +57,10 @@ type Engine struct {
 	events []event
 	nextID int
 
+	// curPhase is the solver phase currently open via BeginPhase
+	// (obs.NumPhases when none); Charge stamps it onto evLocal events.
+	curPhase obs.Phase
+
 	pcFlops, pcBytes float64
 	pcP2P, pcAllr    int
 }
@@ -56,11 +68,29 @@ type Engine struct {
 // NewEngine returns a recording engine for A with the given preconditioner
 // (nil means identity).
 func NewEngine(a *sparse.CSR, pc engine.Preconditioner) *Engine {
-	e := &Engine{A: a, PC: pc}
+	e := &Engine{A: a, PC: pc, curPhase: obs.NumPhases}
 	if pc != nil {
 		e.pcFlops, e.pcBytes, e.pcP2P, e.pcAllr = pc.WorkPerApply()
 	}
 	return e
+}
+
+// BeginPhase implements obs.PhaseTracker by tagging subsequent Charge
+// events rather than reading any clock: the previous tag is parked in the
+// returned span and restored by EndPhase, so nested sections compose.
+func (e *Engine) BeginPhase(p obs.Phase) obs.Span {
+	prev := e.curPhase
+	e.curPhase = p
+	return obs.PhaseMark(prev)
+}
+
+// EndPhase implements obs.PhaseTracker.
+func (e *Engine) EndPhase(sp obs.Span) {
+	if sp.Live() {
+		e.curPhase = sp.Phase()
+	} else {
+		e.curPhase = obs.NumPhases
+	}
 }
 
 // NLocal implements engine.Engine (the single real rank holds everything).
@@ -142,10 +172,12 @@ func (e *Engine) IallreduceSum(buf []float64) engine.Request {
 	return simRequest{e: e, id: id}
 }
 
-// Charge implements engine.Engine.
+// Charge implements engine.Engine. The event inherits the solver phase open
+// at charge time (see BeginPhase); untagged work is attributed to the
+// recurrence linear combinations at replay, the dominant local vector work.
 func (e *Engine) Charge(flops, bytes float64) {
 	e.c.Flops += flops
-	e.events = append(e.events, event{kind: evLocal, flops: flops, bytes: bytes})
+	e.events = append(e.events, event{kind: evLocal, flops: flops, bytes: bytes, phase: e.curPhase})
 }
 
 // Counters implements engine.Engine.
@@ -174,7 +206,7 @@ type Breakdown struct {
 // by balanced nonzeros, and per-event costs use the most loaded rank
 // (BSP-style max).
 func (e *Engine) Evaluate(m Machine, p int) Breakdown {
-	b, _ := e.replay(m, p, false)
+	b, _ := e.replay(m, p, false, nil)
 	return b
 }
 
@@ -184,11 +216,22 @@ func (e *Engine) Evaluate(m Machine, p int) Breakdown {
 // per convergence check — it yields the residual-versus-time trajectories of
 // the paper's Fig. 5.
 func (e *Engine) Timeline(m Machine, p int) []float64 {
-	_, tl := e.replay(m, p, true)
+	_, tl := e.replay(m, p, true, nil)
 	return tl
 }
 
-func (e *Engine) replay(m Machine, p int, wantTimeline bool) (Breakdown, []float64) {
+// Trace replays the recorded run against machine m with p modeled ranks and
+// emits the phase timeline and overlap ledger into tr on the virtual clock
+// (nanoseconds = modeled seconds × 1e9). The emission is a pure function of
+// the recorded events and the machine model — no wall clock — so two Trace
+// calls over the same run produce byte-identical summaries: the determinism
+// contract sim's timeline tests pin.
+func (e *Engine) Trace(m Machine, p int, tr *obs.Tracer) Breakdown {
+	b, _ := e.replay(m, p, false, tr)
+	return b
+}
+
+func (e *Engine) replay(m Machine, p int, wantTimeline bool, tr *obs.Tracer) (Breakdown, []float64) {
 	if p < 1 {
 		panic("sim: p must be positive")
 	}
@@ -214,10 +257,19 @@ func (e *Engine) replay(m Machine, p int, wantTimeline bool) (Breakdown, []float
 	clock := 0.0
 	var timeline []float64
 	type pending struct {
-		post float64
-		g    float64
+		post  float64
+		g     float64
+		words int
 	}
 	inflight := map[int]pending{}
+
+	// ns converts the virtual clock (seconds) to tracer nanoseconds. The
+	// float64→int64 rounding is deterministic, so identical replays emit
+	// identical spans.
+	ns := func(t float64) int64 { return int64(math.Round(t * 1e9)) }
+	span := func(ph obs.Phase, start, end float64) {
+		tr.AddSpanAt(ph, ns(start), ns(end))
+	}
 
 	// Matrix-powers-kernel cost terms, cached by depth.
 	type mpkCost struct {
@@ -256,12 +308,16 @@ func (e *Engine) replay(m Machine, p int, wantTimeline bool) (Breakdown, []float
 		switch ev.kind {
 		case evSpMV:
 			t := m.Roofline(ev.flops*nnzShare, ev.bytes*nnzShare)
+			span(obs.PhaseHaloWait, clock, clock+haloTime)
+			span(obs.PhaseSpMV, clock+haloTime, clock+haloTime+t)
 			clock += t + haloTime
 			b.Compute += t
 			b.Halo += haloTime
 		case evMPK:
 			c := mpkFor(ev.depth)
 			t := m.Roofline(ev.flops*nnzShare+c.redFlops, ev.bytes*nnzShare+c.redBytes)
+			span(obs.PhaseHaloWait, clock, clock+c.haloTime)
+			span(obs.PhaseSpMV, clock+c.haloTime, clock+c.haloTime+t)
 			clock += t + c.haloTime
 			b.Compute += t
 			b.Halo += c.haloTime
@@ -269,23 +325,41 @@ func (e *Engine) replay(m Machine, p int, wantTimeline bool) (Breakdown, []float
 			t := m.Roofline(ev.flops*rowShare, ev.bytes*rowShare)
 			comm := float64(ev.p2pRounds) * haloTime
 			g := float64(ev.allreduces) * m.G(p, 1)
+			span(obs.PhasePCApply, clock, clock+t)
+			if comm > 0 {
+				span(obs.PhaseHaloWait, clock+t, clock+t+comm)
+			}
+			if g > 0 {
+				span(obs.PhaseAllreduceWait, clock+t+comm, clock+t+comm+g)
+			}
 			clock += t + comm + g
 			b.Compute += t
 			b.Halo += comm
 			b.ReduceExposed += g
 		case evLocal:
 			t := m.Roofline(ev.flops*rowShare, ev.bytes*rowShare)
+			ph := ev.phase
+			if ph >= obs.NumPhases {
+				ph = obs.PhaseRecurrenceLC
+			}
+			span(ph, clock, clock+t)
 			clock += t
 			b.Compute += t
 		case evAllreduce:
 			g := m.G(p, ev.words)
+			span(obs.PhaseAllreduceWait, clock, clock+g)
+			tr.AddReductionAt(obs.Reduction{
+				Words: ev.words, Blocking: true,
+				PostNS: ns(clock), WaitStartNS: ns(clock), DoneNS: ns(clock + g),
+			})
 			clock += g
 			b.ReduceExposed += g
 			if wantTimeline {
 				timeline = append(timeline, clock)
 			}
 		case evIPost:
-			inflight[ev.id] = pending{post: clock, g: m.Gnb(p, ev.words)}
+			span(obs.PhaseIallreducePost, clock, clock)
+			inflight[ev.id] = pending{post: clock, g: m.Gnb(p, ev.words), words: ev.words}
 		case evIWait:
 			pd, ok := inflight[ev.id]
 			if !ok {
@@ -294,6 +368,14 @@ func (e *Engine) replay(m Machine, p int, wantTimeline bool) (Breakdown, []float
 			delete(inflight, ev.id)
 			elapsed := clock - pd.post
 			exposed := math.Max(0, pd.g-m.AsyncProgress*elapsed)
+			span(obs.PhaseAllreduceWait, clock, clock+exposed)
+			tr.AddReductionAt(obs.Reduction{
+				Words:          pd.words,
+				PostNS:         ns(pd.post),
+				WaitStartNS:    ns(clock),
+				DoneNS:         ns(clock + exposed),
+				ComputeUnderNS: ns(elapsed),
+			})
 			clock += exposed
 			b.ReduceExposed += exposed
 			b.ReduceHidden += pd.g - exposed

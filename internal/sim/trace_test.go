@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// record drives one small synthetic kernel sequence through a fresh engine:
+// a blocking reduce, a tagged local-dots charge, a posted iallreduce hidden
+// behind an SPMV and a gram charge, then the wait.
+func recordRun(t *testing.T) *Engine {
+	t.Helper()
+	a := grid.NewSquare(8, grid.Star5).Laplacian()
+	e := NewEngine(a, nil)
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+
+	e.AllreduceSum(make([]float64, 2))
+	sp := e.BeginPhase(obs.PhaseLocalDots)
+	e.Charge(2*float64(a.Rows), 16*float64(a.Rows))
+	e.EndPhase(sp)
+	req := e.IallreduceSum(make([]float64, 3))
+	e.SpMV(y, x)
+	sp = e.BeginPhase(obs.PhaseGram)
+	e.Charge(8*float64(a.Rows), 64*float64(a.Rows))
+	e.EndPhase(sp)
+	req.Wait()
+	e.Charge(2*float64(a.Rows), 24*float64(a.Rows)) // untagged → recurrence_lc
+	return e
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	e := recordRun(t)
+	m := CrayXC40()
+
+	trace := func() (obs.Summary, []byte) {
+		tr := obs.New(0)
+		e.Trace(m, 64, tr)
+		s := tr.Summary()
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, 0, []obs.Summary{s}); err != nil {
+			t.Fatal(err)
+		}
+		return s, buf.Bytes()
+	}
+	s1, j1 := trace()
+	s2, j2 := trace()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("sim trace summaries differ between identical replays:\n%+v\n%+v", s1, s2)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("sim chrome exports differ between identical replays")
+	}
+}
+
+func TestTracePhaseAttribution(t *testing.T) {
+	e := recordRun(t)
+	tr := obs.New(0)
+	b := e.Trace(CrayXC40(), 64, tr)
+	s := tr.Summary()
+
+	for _, ph := range []obs.Phase{
+		obs.PhaseSpMV, obs.PhaseHaloWait, obs.PhaseLocalDots, obs.PhaseGram,
+		obs.PhaseRecurrenceLC, obs.PhaseAllreduceWait, obs.PhaseIallreducePost,
+	} {
+		if s.Phases[ph].Count == 0 {
+			t.Errorf("phase %s has no spans", ph)
+		}
+	}
+	// The ledger must hold one blocking and one posted reduction, and the
+	// posted one must report the model's hidden time: compute elapsed under
+	// it was SPMV + gram charge.
+	if s.Overlap.Blocking != 1 || s.Overlap.Posted != 1 {
+		t.Fatalf("overlap = %+v", s.Overlap)
+	}
+	var nb obs.Reduction
+	for _, r := range s.Reductions {
+		if !r.Blocking {
+			nb = r
+		}
+	}
+	if nb.ComputeUnderNS <= 0 {
+		t.Fatalf("no compute recorded under posted reduction: %+v", nb)
+	}
+	if hf := s.HiddenFraction(); hf <= 0 || hf > 1 {
+		t.Fatalf("hidden fraction = %v", hf)
+	}
+	// Trace must agree with Evaluate (same replay, tracer only observes).
+	if b2 := e.Evaluate(CrayXC40(), 64); b != b2 {
+		t.Fatalf("Trace breakdown %+v != Evaluate %+v", b, b2)
+	}
+}
+
+// Tracing must be strictly observational: the same replay with and without a
+// tracer yields the same breakdown and the same timeline.
+func TestTraceDoesNotPerturbModel(t *testing.T) {
+	e := recordRun(t)
+	m := CrayXC40()
+	b0 := e.Evaluate(m, 256)
+	tr := obs.New(0)
+	b1 := e.Trace(m, 256, tr)
+	if b0 != b1 {
+		t.Fatalf("tracer perturbed the model: %+v vs %+v", b0, b1)
+	}
+}

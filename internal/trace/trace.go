@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Counters accumulates kernel-level statistics for one solve.
@@ -148,19 +149,51 @@ func (c *Counters) MarshalJSON() ([]byte, error) {
 //
 //	<prefix>_<name>{<labels>} <value>
 //
-// labels is the raw label body ("method=\"pcg\"") and may be empty. The
-// output order matches Fields(), so repeated scrapes diff cleanly.
+// labels is the raw label body ("method=\"pcg\"", see Label for safe
+// construction) and may be empty. The output order matches Fields(), so
+// repeated scrapes diff cleanly.
 func (c *Counters) WritePrometheus(w io.Writer, prefix, labels string) error {
 	lb := ""
 	if labels != "" {
 		lb = "{" + labels + "}"
 	}
+	sep := "_"
+	if prefix == "" {
+		// An empty prefix must not leave a leading underscore: "_spmv" and
+		// "spmv" are distinct series to a scraper.
+		sep = ""
+	}
 	for _, f := range c.Fields() {
-		if _, err := fmt.Fprintf(w, "%s_%s%s %s\n", prefix, f.Name, lb, formatValue(f.Value)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s%s%s %s\n", prefix, sep, f.Name, lb, formatValue(f.Value)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Label renders one name="value" label pair with the Prometheus exposition
+// format's value escaping (backslash, double quote and newline). Join pairs
+// with commas to build WritePrometheus's label body; an unescaped value —
+// say an uploaded matrix name carrying a quote — would otherwise tear the
+// series line apart.
+func Label(name, value string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // formatValue renders integral values without an exponent or decimal point

@@ -140,6 +140,54 @@ func TestCountersPrometheus(t *testing.T) {
 	}
 }
 
+// TestCountersPrometheusEmptyPrefix pins the bare-name edge case: an empty
+// prefix must emit "spmv", not "_spmv" (a different series), and an empty
+// label body must not emit braces.
+func TestCountersPrometheusEmptyPrefix(t *testing.T) {
+	c := Counters{SpMV: 2}
+	var sb strings.Builder
+	if err := c.WritePrometheus(&sb, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "spmv 2\n") {
+		t.Fatalf("missing bare series name:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "_") {
+			t.Errorf("empty prefix left a leading underscore: %q", line)
+		}
+		if strings.ContainsAny(line, "{}") {
+			t.Errorf("empty label body emitted braces: %q", line)
+		}
+	}
+}
+
+// TestPrometheusLabelEscaping pins Label's exposition-format escaping and
+// that a hostile label value cannot tear the line structure of a scrape.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	if got, want := Label("problem", `a"b\c`+"\n"+"d"), `problem="a\"b\\c\nd"`; got != want {
+		t.Fatalf("Label = %s, want %s", got, want)
+	}
+	if got, want := Label("method", "pcg"), `method="pcg"`; got != want {
+		t.Fatalf("Label = %s, want %s", got, want)
+	}
+
+	c := Counters{SpMV: 1}
+	var sb strings.Builder
+	if err := c.WritePrometheus(&sb, "k", Label("file", "weird\"name\nwith newline")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "\n"); got != len(c.Fields()) {
+		t.Fatalf("escaped label broke line structure: %d lines, want %d:\n%s",
+			got, len(c.Fields()), out)
+	}
+	if want := `k_spmv{file="weird\"name\nwith newline"} 1` + "\n"; !strings.Contains(out, want) {
+		t.Fatalf("missing escaped series %q in:\n%s", want, out)
+	}
+}
+
 func TestCountersBasics(t *testing.T) {
 	var c Counters
 	c.SpMV = 3
