@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels chaos serve-smoke audit timeline tier1
+.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke audit timeline tier1
 
 all: tier1
 
@@ -12,10 +12,15 @@ test:
 
 # Race-check the concurrency-bearing packages: the worker pool, the
 # goroutine-rank communication runtime (which shares the pool across ranks),
-# the solver service (registry LRU, job manager, drain), and the span tracer
-# (shared by all ranks' reductions in flight).
+# the solver service (registry LRU, job manager, drain), the span tracer
+# (shared by all ranks' reductions in flight), and the hot-path kernel
+# packages (chunk-plan caches, fused folds, stencil kernels).
+# The two invocations are deliberate: go test runs package binaries in
+# parallel, and the kernel packages saturate the worker pool — co-scheduling
+# them with the timing-sensitive serve drain smoke makes its deadline flaky.
 race:
 	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/... ./internal/audit/... ./internal/obs/...
+	$(GO) test -race ./internal/sparse/... ./internal/grid/... ./internal/vec/...
 
 vet:
 	$(GO) vet ./...
@@ -49,12 +54,19 @@ timeline:
 
 # tier1 is the gate every change must pass: build, vet, full tests, the
 # race detector over the concurrent packages, the chaos suite, the
-# solver-service smoke, the differential audit sweep, and the timeline
-# export smoke.
-tier1: build vet test race chaos serve-smoke audit timeline
+# solver-service smoke, the differential audit sweep, the timeline export
+# smoke, and the hot-path kernel perf smoke.
+tier1: build vet test race chaos serve-smoke audit timeline perf
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Hot-path kernel perf smoke: the stencil-vs-CSR SPMV pair and the fused
+# powers-block step, run short (100 iterations, 3 samples) so tier1 catches
+# a kernel that stops compiling or collapses, without turning the gate into
+# a benchmark farm. cmd/perfreport produces the committed BENCH_pr6.json.
+perf:
+	$(GO) test -bench 'SpMV3D|SpMV2D|PowersStep' -benchtime=100x -count=3 -run xxx ./internal/grid
 
 # Kernel-layer scaling benches: SPMV, Gram/dot, and the solver-level run at
 # 1 worker versus all cores.

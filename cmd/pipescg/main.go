@@ -89,7 +89,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := engine.NewSeq(pr.A, pcInst)
+		e := engine.NewSeq(pr.Operator(), pcInst)
 		start := time.Now()
 		res, err := solve(e, pr.B, opt)
 		if err != nil {
@@ -139,7 +139,7 @@ func main() {
 		default:
 			log.Fatalf("runtime comm supports rank-local PCs only (jacobi, sor, none), got %q", *pc)
 		}
-		engines := comm.NewEngines(f, pr.A, pt, factory)
+		engines := comm.NewEnginesOp(f, pr.A, pr.Operator(), pt, factory)
 		bs := comm.Scatter(pt, pr.B)
 		results := make([]*krylov.Result, *ranks)
 		start := time.Now()

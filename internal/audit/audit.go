@@ -123,8 +123,10 @@ func AuditConfig(cfg Config, specs []EngineSpec, p AuditParams) ([]Violation, in
 	vs = append(vs, CompareRuns(cfg, runs, p)...)
 
 	// Cross-P closure: the gathered iterate of every multi-rank run must
-	// satisfy the original system, measured out-of-band.
-	if pr, err := bench.ProblemByName(cfg.Problem, cfg.N, cfg.N); err == nil {
+	// satisfy the solved system — the same operator-axis transform Execute
+	// applied (an rcm config's iterate solves the reordered system, so the
+	// ground truth must be reordered too) — measured out-of-band.
+	if pr, err := buildProblem(cfg); err == nil {
 		for _, r := range runs {
 			if r.Spec.BitGroup() {
 				continue

@@ -18,7 +18,14 @@ type Config struct {
 	Method  string // solver name from the bench registry
 	PC      string // preconditioner name (none, jacobi, sor)
 	S       int    // s-step block size (1 for the one-step methods)
-	Seed    uint64 // generator draw that produced this config (provenance)
+	// Op selects the operator backend: "" (the problem's default), "csr"
+	// (force the assembled matrix), "stencil" (require the matrix-free
+	// kernel), or "rcm" (solve the RCM-reordered system). The axis exists so
+	// the sweep covers the raw-speed paths — matrix-free SPMV, fused dots
+	// over the operator's chunk plan, reordered systems — under the same
+	// differential policies as the assembled default.
+	Op   string
+	Seed uint64 // generator draw that produced this config (provenance)
 }
 
 // synthProblems are the problems whose N field is a reduction scale rather
@@ -41,8 +48,12 @@ func (c Config) String() string {
 	if synthProblems[c.Problem] {
 		dim = "scale"
 	}
-	return fmt.Sprintf("problem=%s;%s=%d;method=%s;pc=%s;s=%d;seed=0x%x",
-		c.Problem, dim, c.N, c.Method, c.PC, c.S, c.Seed)
+	op := ""
+	if c.Op != "" {
+		op = ";op=" + c.Op
+	}
+	return fmt.Sprintf("problem=%s;%s=%d;method=%s;pc=%s;s=%d%s;seed=0x%x",
+		c.Problem, dim, c.N, c.Method, c.PC, c.S, op, c.Seed)
 }
 
 // ParseConfig parses the String form back into a Config.
@@ -76,6 +87,8 @@ func ParseConfig(s string) (Config, error) {
 			c.Method = v
 		case "pc":
 			c.PC = v
+		case "op":
+			c.Op = v
 		case "s":
 			n, err := strconv.Atoi(v)
 			if err != nil {
@@ -123,8 +136,13 @@ var problemPool = []struct {
 }{
 	{"poisson7", []int{6, 7, 8, 9}},
 	{"poisson125", []int{4, 5}},
+	{"poisson5", []int{8, 10, 12}},
 	{"ecology2", []int{120}}, // reduction scale: an 8×8 heterogeneous 2D grid
 }
+
+// stencilProblems are the problems with a matrix-free stencil backend (the
+// op=stencil axis value is only legal for these).
+var stencilProblems = map[string]bool{"poisson7": true, "poisson5": true}
 
 // methodPool is the sweep's method axis — the six methods ISSUE 4 names:
 // the blocking baselines, both s-step generations and both pipelined
@@ -169,6 +187,22 @@ func configFromDraw(draw uint64) Config {
 		c.PC = "none"
 	} else {
 		c.PC = pcPool[int(draw%uint64(len(pcPool)))]
+	}
+	draw >>= 8
+	// Operator axis: half the sweep stays on the problem default, the rest
+	// splits across the explicit backends so every sweep of ~50 configs
+	// exercises the assembled, matrix-free and reordered paths.
+	switch draw % 8 {
+	case 4, 5:
+		c.Op = "csr"
+	case 6:
+		if stencilProblems[c.Problem] {
+			c.Op = "stencil"
+		} else {
+			c.Op = "rcm"
+		}
+	case 7:
+		c.Op = "rcm"
 	}
 	return c
 }

@@ -92,11 +92,43 @@ type Run struct {
 	RelTol float64
 }
 
+// buildProblem resolves a config's problem including its operator axis, so
+// every consumer — Execute, the cross-P residual closure — sees the SAME
+// transformed system. "csr" strips the matrix-free backend, "stencil"
+// requires it, and "rcm" reorders the whole system (A, b, and ground truth
+// move together; the stencil kernel is invalid after reordering).
+func buildProblem(cfg Config) (bench.Problem, error) {
+	pr, err := bench.ProblemByName(cfg.Problem, cfg.N, cfg.N)
+	if err != nil {
+		return pr, err
+	}
+	switch cfg.Op {
+	case "":
+	case "csr":
+		pr.Op = nil
+	case "stencil":
+		if pr.Op == nil {
+			return pr, fmt.Errorf("audit: problem %q has no matrix-free stencil", cfg.Problem)
+		}
+	case "rcm":
+		perm := sparse.RCMOrder(pr.A)
+		pr.A = sparse.PermuteSym(pr.A, perm)
+		b := make([]float64, len(pr.B))
+		sparse.PermuteVec(b, pr.B, perm)
+		pr.B = b
+		pr.Perm = perm
+		pr.Op = nil
+	default:
+		return pr, fmt.Errorf("audit: unknown op %q", cfg.Op)
+	}
+	return pr, nil
+}
+
 // Execute runs one config on one engine spec. The solve is configured with
 // the unpreconditioned residual norm so the monitor's recurrence norm and
 // the drift auditor's true ‖b−A·x‖/‖b‖ measure the same quantity.
 func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
-	pr, err := bench.ProblemByName(cfg.Problem, cfg.N, cfg.N)
+	pr, err := buildProblem(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +166,7 @@ func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
 		}
 		var e engine.Engine
 		if spec.Kind == "seq" {
-			se := engine.NewSeq(pr.A, pc)
+			se := engine.NewSeq(pr.Operator(), pc)
 			if ap.Trace {
 				se.Tr = obs.New(0)
 			}
@@ -143,7 +175,9 @@ func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
 			// The sim engine records phase tags at solve time regardless;
 			// spans materialize only at replay (sim.Trace), so there is no
 			// per-run tracer to attach here.
-			e = sim.NewEngine(pr.A, pc)
+			se := sim.NewEngine(pr.A, pc)
+			se.Op = pr.Op
+			e = se
 		}
 		res, err := solver(e, pr.B, opt)
 		if err != nil {
@@ -159,7 +193,7 @@ func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
 		}
 		pt := partition.RowBlockByNNZ(pr.A, ranks)
 		f := comm.NewFabric(ranks, 0)
-		engines := comm.NewEngines(f, pr.A, pt, pcFactory(effectivePC(cfg)))
+		engines := comm.NewEnginesOp(f, pr.A, pr.Operator(), pt, pcFactory(effectivePC(cfg)))
 		if ap.Trace {
 			for r, e := range engines {
 				e.SetTracer(obs.New(r))

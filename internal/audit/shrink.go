@@ -46,6 +46,16 @@ func Shrink(cfg Config, fails func(Config) bool) Config {
 			}
 		}
 
+		// Default operator backend (drop a stencil/rcm/csr override).
+		if cfg.Op != "" {
+			c := cfg
+			c.Op = ""
+			if fails(c) {
+				cfg = c
+				reduced = true
+			}
+		}
+
 		if !reduced {
 			break
 		}

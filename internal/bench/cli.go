@@ -100,6 +100,8 @@ func ProblemByName(name string, n, scale int) (Problem, error) {
 		return Poisson125(n), nil
 	case "poisson7":
 		return Poisson7(n), nil
+	case "poisson5":
+		return Poisson5(n), nil
 	case "ecology2":
 		return Ecology2(scale), nil
 	case "thermal2":
@@ -107,5 +109,5 @@ func ProblemByName(name string, n, scale int) (Problem, error) {
 	case "serena":
 		return Serena(scale), nil
 	}
-	return Problem{}, fmt.Errorf("bench: unknown problem %q (want poisson125, poisson7, ecology2, thermal2, serena)", name)
+	return Problem{}, fmt.Errorf("bench: unknown problem %q (want poisson125, poisson7, poisson5, ecology2, thermal2, serena)", name)
 }

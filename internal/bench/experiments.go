@@ -32,6 +32,7 @@ func RunSim(pr Problem, method, pcName string, opt krylov.Options) (*Run, error)
 		pc = nil
 	}
 	eng := sim.NewEngine(pr.A, pc)
+	eng.Op = pr.Op
 	eng.Decomp = pr.Decomp
 	res, err := solve(eng, pr.B, opt)
 	if err != nil {

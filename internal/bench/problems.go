@@ -33,6 +33,24 @@ type Problem struct {
 	// PaperN/PaperNNZ document the full-scale matrix this instance stands
 	// in for (equal to N/NNZ when running at paper scale).
 	PaperN, PaperNNZ int
+	// Op, when non-nil, is the operator the engines should apply (e.g. a
+	// matrix-free stencil). A remains the assembled matrix — partitioning,
+	// preconditioners and out-of-band residual checks still need the
+	// structure — and Op must compute the same product bit for bit.
+	Op engine.Operator
+	// Perm, when non-nil, records the symmetric row reordering applied to
+	// A/B relative to the source operator (perm[new] = old). Solutions in
+	// the source ordering are recovered with sparse.InversePermuteVec.
+	Perm []int
+}
+
+// Operator returns the operator the engines should apply: Op when set,
+// otherwise the assembled matrix.
+func (p Problem) Operator() engine.Operator {
+	if p.Op != nil {
+		return p.Op
+	}
+	return p.A
 }
 
 // Poisson125 builds the paper's main workload: the Poisson equation on an
@@ -48,13 +66,35 @@ func Poisson125(n int) Problem {
 }
 
 // Poisson7 builds a 7-point Poisson problem (used by examples and tests).
+// The operator is matrix-free (the Star7 stencil kernel, bit-identical to
+// the assembled matrix); A still carries the assembled form for partitions
+// and preconditioners.
 func Poisson7(n int) Problem {
 	g := grid.NewCube(n, grid.Star7)
 	a := g.Laplacian()
-	return Problem{Name: fmt.Sprintf("poisson7-%dk", a.Rows/1000), A: a,
+	pr := Problem{Name: fmt.Sprintf("poisson7-%dk", a.Rows/1000), A: a,
 		B: grid.OnesRHS(a), RelTol: 1e-5, Grid: &g,
 		Decomp: &partition.GridSpec{Nx: n, Ny: n, Nz: n, Radius: 1},
 		PaperN: a.Rows, PaperNNZ: a.NNZ()}
+	if op, ok := g.MatrixFree(); ok {
+		pr.Op = op
+	}
+	return pr
+}
+
+// Poisson5 builds a 2D 5-point Poisson problem on an n×n grid, the 2D
+// counterpart of Poisson7 with the same matrix-free operator treatment.
+func Poisson5(n int) Problem {
+	g := grid.NewSquare(n, grid.Star5)
+	a := g.Laplacian()
+	pr := Problem{Name: fmt.Sprintf("poisson5-%dk", a.Rows/1000), A: a,
+		B: grid.OnesRHS(a), RelTol: 1e-5, Grid: &g,
+		Decomp: &partition.GridSpec{Nx: n, Ny: n, Nz: 1, Radius: 1},
+		PaperN: a.Rows, PaperNNZ: a.NNZ()}
+	if op, ok := g.MatrixFree(); ok {
+		pr.Op = op
+	}
+	return pr
 }
 
 func fromSynth(m synth.Matrix, rtol float64, decomp *partition.GridSpec) Problem {

@@ -17,7 +17,8 @@ import (
 type Engine struct {
 	f    *Fabric
 	rank int
-	a    *sparse.CSR // shared, read-only
+	a    *sparse.CSR // shared, read-only: partition/halo structure + cost accounting
+	op   engine.Operator // shared, read-only: the operator the numerics apply
 	pt   partition.Partition
 	halo partition.Halo
 	pc   engine.Preconditioner
@@ -54,17 +55,28 @@ type PCFactory func(a *sparse.CSR, lo, hi int) engine.Preconditioner
 // one engine per rank. The matrix is shared read-only; each rank owns the
 // row block pt assigns to it.
 func NewEngines(f *Fabric, a *sparse.CSR, pt partition.Partition, pcf PCFactory) []*Engine {
+	return NewEnginesOp(f, a, a, pt, pcf)
+}
+
+// NewEnginesOp is NewEngines with the numerics routed through op (e.g. a
+// matrix-free stencil) while a still provides the partition/halo structure
+// and the cost accounting. op must describe the same operator as a; passing
+// a for op recovers NewEngines.
+func NewEnginesOp(f *Fabric, a *sparse.CSR, op engine.Operator, pt partition.Partition, pcf PCFactory) []*Engine {
 	if pt.P != f.P() {
 		panic("comm: partition rank count does not match fabric")
 	}
 	if pt.N != a.Rows {
 		panic("comm: partition size does not match matrix")
 	}
+	if op == nil {
+		op = a
+	}
 	halos := partition.BuildHalos(a, pt)
 	engines := make([]*Engine, pt.P)
 	for r := range engines {
 		e := &Engine{
-			f: f, rank: r, a: a, pt: pt, halo: halos[r],
+			f: f, rank: r, a: a, op: op, pt: pt, halo: halos[r],
 			lo: pt.Lo(r), hi: pt.Hi(r),
 			scratch:  make([]float64, a.Cols),
 			sendBufs: map[int]*[2][]float64{},
@@ -99,10 +111,9 @@ func (e *Engine) NLocal() int { return e.hi - e.lo }
 // NGlobal implements engine.Engine.
 func (e *Engine) NGlobal() int { return e.a.Rows }
 
-// SpMV implements engine.Engine: exchanges halo values with neighbors, then
-// applies the local rows.
-func (e *Engine) SpMV(dst, src []float64) {
-	// Stage local values into the global-indexed scratch buffer.
+// exchangeHalo stages src into the global-indexed scratch buffer and swaps
+// ghost values with neighbor ranks (one halo_wait span).
+func (e *Engine) exchangeHalo(src []float64) {
 	copy(e.scratch[e.lo:e.hi], src)
 
 	halo := e.tr.Begin(obs.PhaseHaloWait)
@@ -132,18 +143,41 @@ func (e *Engine) SpMV(dst, src []float64) {
 		}
 	}
 	e.tr.End(halo)
+}
+
+// countSpMV accounts one local SPMV against this rank's owned rows.
+func (e *Engine) countSpMV() {
+	localNNZ := e.a.RowPtr[e.hi] - e.a.RowPtr[e.lo]
+	e.c.SpMV++
+	e.c.HaloExchanges++
+	e.c.SpMVFlops += 2 * float64(localNNZ)
+}
+
+// SpMV implements engine.Engine: exchanges halo values with neighbors, then
+// applies the local rows.
+func (e *Engine) SpMV(dst, src []float64) {
+	e.exchangeHalo(src)
 
 	// Local rows through the shared parallel kernel layer. All ranks of this
 	// process share one worker pool (see internal/par), so R ranks never
 	// fan out to R×W goroutines.
 	sp := e.tr.Begin(obs.PhaseSpMV)
-	a := e.a
-	a.MulVecRangeInto(dst, e.scratch, e.lo, e.hi)
+	e.op.MulVecRangeInto(dst, e.scratch, e.lo, e.hi)
 	e.tr.End(sp)
-	localNNZ := a.RowPtr[e.hi] - a.RowPtr[e.lo]
-	e.c.SpMV++
-	e.c.HaloExchanges++
-	e.c.SpMVFlops += 2 * float64(localNNZ)
+	e.countSpMV()
+}
+
+// SpMVFusedDots implements engine.FusedSpMV: the same halo exchange as SpMV,
+// then the fused local product + scale + rank-local dot partials in one pass
+// over the owned rows. The caller reduces the dot partials and charges the
+// scale/dot payload.
+func (e *Engine) SpMVFusedDots(dst, src []float64, scale float64, ws [][]float64, dots []float64) {
+	e.exchangeHalo(src)
+
+	sp := e.tr.Begin(obs.PhaseSpMV)
+	engine.FusedApply(e.op, dst, e.scratch, e.lo, e.hi, e.lo, scale, ws, dots)
+	e.tr.End(sp)
+	e.countSpMV()
 }
 
 // ApplyPC implements engine.Engine.

@@ -54,14 +54,14 @@ func (e *Engine) SpMVPowers(dst [][]float64, src []float64) {
 	a := e.a
 	for j := 0; j < depth; j++ {
 		// Local rows through the shared parallel kernel.
-		a.MulVecRange(next, cur, e.lo, e.hi)
+		e.op.MulVecRange(next, cur, e.lo, e.hi)
 		copy(dst[j], next[e.lo:e.hi])
 		// Redundant ghost-zone rows needed by later steps. They go through
 		// the same row kernel so the recomputed values are bit-identical to
 		// what the owning rank produces.
 		if j < depth-1 {
 			for _, i := range plan.Extra[j] {
-				a.MulVecRange(next, cur, i, i+1)
+				e.op.MulVecRange(next, cur, i, i+1)
 				e.c.SpMVFlops += 2 * float64(a.RowPtr[i+1]-a.RowPtr[i])
 			}
 		}

@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"repro/internal/obs"
-	"repro/internal/sparse"
 	"repro/internal/trace"
 )
 
@@ -154,7 +153,7 @@ func (r tracedRequest) WaitTimeout(d time.Duration) error {
 // Seq is the single-rank reference engine: global vectors, immediate
 // reductions, no cost model beyond counters.
 type Seq struct {
-	A  *sparse.CSR
+	A  Operator
 	PC Preconditioner
 	C  trace.Counters
 
@@ -163,17 +162,17 @@ type Seq struct {
 	Tr *obs.Tracer
 }
 
-// NewSeq returns a sequential engine for A with the given preconditioner
-// (nil means identity — the unpreconditioned methods).
-func NewSeq(a *sparse.CSR, pc Preconditioner) *Seq {
+// NewSeq returns a sequential engine for the operator a with the given
+// preconditioner (nil means identity — the unpreconditioned methods).
+func NewSeq(a Operator, pc Preconditioner) *Seq {
 	return &Seq{A: a, PC: pc}
 }
 
 // NLocal implements Engine.
-func (e *Seq) NLocal() int { return e.A.Rows }
+func (e *Seq) NLocal() int { rows, _ := e.A.Dims(); return rows }
 
 // NGlobal implements Engine.
-func (e *Seq) NGlobal() int { return e.A.Rows }
+func (e *Seq) NGlobal() int { return e.NLocal() }
 
 // BeginPhase implements obs.PhaseTracker.
 func (e *Seq) BeginPhase(p obs.Phase) obs.Span { return e.Tr.Begin(p) }
@@ -187,6 +186,19 @@ func (e *Seq) EndPhase(sp obs.Span) { e.Tr.End(sp) }
 func (e *Seq) SpMV(dst, src []float64) {
 	sp := e.Tr.Begin(obs.PhaseSpMV)
 	e.A.MulVec(dst, src)
+	e.Tr.End(sp)
+	e.C.SpMV++
+	e.C.HaloExchanges++
+	e.C.SpMVFlops += 2 * float64(e.A.NNZ())
+}
+
+// SpMVFusedDots implements FusedSpMV: one traced SPMV span covering the
+// fused product, scale and local dots. Counted as a single SPMV; the caller
+// charges the scale/dot payload.
+func (e *Seq) SpMVFusedDots(dst, src []float64, scale float64, ws [][]float64, dots []float64) {
+	sp := e.Tr.Begin(obs.PhaseSpMV)
+	rows, _ := e.A.Dims()
+	FusedApply(e.A, dst, src, 0, rows, 0, scale, ws, dots)
 	e.Tr.End(sp)
 	e.C.SpMV++
 	e.C.HaloExchanges++

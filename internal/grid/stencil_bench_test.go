@@ -1,0 +1,91 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func benchVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// BenchmarkSpMV3D compares the assembled CSR product against the
+// matrix-free Star7 stencil kernel on the same operator.
+func BenchmarkSpMV3D(b *testing.B) {
+	g := NewCube(48, Star7)
+	a := g.Laplacian()
+	op, ok := g.MatrixFree()
+	if !ok {
+		b.Fatal("no matrix-free operator")
+	}
+	x := benchVec(a.Rows, 1)
+	y := make([]float64, a.Rows)
+	b.Run("csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.MulVec(y, x)
+		}
+	})
+	b.Run("stencil", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op.MulVec(y, x)
+		}
+	})
+}
+
+// BenchmarkSpMV2D is the 2D Star5 counterpart.
+func BenchmarkSpMV2D(b *testing.B) {
+	g := NewSquare(320, Star5)
+	a := g.Laplacian()
+	op, ok := g.MatrixFree()
+	if !ok {
+		b.Fatal("no matrix-free operator")
+	}
+	x := benchVec(a.Rows, 2)
+	y := make([]float64, a.Rows)
+	b.Run("csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.MulVec(y, x)
+		}
+	})
+	b.Run("stencil", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op.MulVec(y, x)
+		}
+	})
+}
+
+// BenchmarkPowersStep measures one monomial powers-block step — y = A·x/σ
+// plus the two moment dots the s-step payload needs from it — as the three
+// separate sweeps the solver used to issue versus the fused kernel.
+func BenchmarkPowersStep(b *testing.B) {
+	g := NewCube(48, Star7)
+	op, ok := g.MatrixFree()
+	if !ok {
+		b.Fatal("no matrix-free operator")
+	}
+	n, _ := op.Dims()
+	x := benchVec(n, 3)
+	y := make([]float64, n)
+	const scale = 1 / 1.25
+	dots := make([]float64, 2)
+	b.Run("separate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op.MulVec(y, x)
+			vec.Scale(y, scale)
+			dots[0] = vec.Dot(x, y)
+			dots[1] = vec.Dot(y, y)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op.MulVecFused(y, x, 0, n, 0, scale, [][]float64{x, nil}, dots)
+		}
+	})
+}

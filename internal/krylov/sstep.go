@@ -62,6 +62,18 @@ type sstepState struct {
 	// stay numerically viable. σ is a setup-time estimate of λmax(M⁻¹A),
 	// identical on every rank (computed through engine reductions).
 	sigma float64
+
+	// Fused-dot side channel: computePowers with fuse set folds moment
+	// entries into the SPMV sweep (engine.FusedSpMV); packDots consumes the
+	// muVal entries flagged by muMask and clears the mask.
+	muVal  []float64
+	muMask []bool
+	fws    [][]float64 // ws scratch for the fused kernel (≤ 2 entries)
+	fdots  []float64
+	// packDots pair-sweep scratch: operands, payload indices, results.
+	pairX, pairY [][]float64
+	pairI        []int
+	pairD        []float64
 }
 
 func newSStepState(e engine.Engine, opt Options, cfg sstepConfig) *sstepState {
@@ -109,12 +121,31 @@ func newSStepState(e engine.Engine, opt Options, cfg sstepConfig) *sstepState {
 	st.pay = scalarwork.Payload{S: s, Extras: 2}
 	st.buf = make([]float64, st.pay.Len())
 	st.sw = scalarwork.NewState(s)
+
+	st.muVal = make([]float64, 2*s)
+	st.muMask = make([]bool, 2*s)
+	st.fws = make([][]float64, 0, 2)
+	st.fdots = make([]float64, 2)
+	st.pairX = make([][]float64, 0, 2*s+2)
+	st.pairY = make([][]float64, 0, 2*s+2)
+	st.pairI = make([]int, 0, 2*s)
+	st.pairD = make([]float64, 2*s+2)
 	return st
 }
 
 // computePowers fills powR[j] = A·powU[j-1]/σ (SPMV) and, when
-// preconditioned, powU[j] = M⁻¹·powR[j] (PC) for j in [lo, hi].
-func (st *sstepState) computePowers(lo, hi int) {
+// preconditioned, powU[j] = M⁻¹·powR[j] (PC) for j in [lo, hi]. The σ basis
+// scale rides the SPMV write-back (one multiply on the accumulated row sum —
+// the same flops as the separate vec.Scale pass, bit-identical, minus one
+// full memory sweep). With fuse set, the moment entries whose operands are
+// the SPMV's own source and product — mu[2j-1] = ⟨powU[j-1], powR[j]⟩
+// always, plus the self-dot mu[2j] = ⟨powR[j], powR[j]⟩ when the basis is
+// unpreconditioned (powU aliases powR) — fold into the same pass, dotting
+// each chunk of the product while it is cache-hot; packDots consumes them
+// through the muVal/muMask side channel. Fuse is only set on ranges that
+// feed the next packDots (powers 1..s); the pipelined overlap range
+// s+1..2s computes powers the current payload never dots.
+func (st *sstepState) computePowers(lo, hi int, fuse bool) {
 	if st.mpk != nil && hi > lo {
 		// Matrix powers kernel: the whole contiguous range in one deep
 		// exchange, then undo the basis scaling per level.
@@ -133,11 +164,35 @@ func (st *sstepState) computePowers(lo, hi int) {
 		}
 		return
 	}
+	scale := 1.0
+	if st.sigma != 1 {
+		scale = 1 / st.sigma
+	}
 	for j := lo; j <= hi; j++ {
-		st.e.SpMV(st.powR[j], st.powU[j-1])
-		if st.sigma != 1 {
-			vec.Scale(st.powR[j], 1/st.sigma)
-			st.e.Charge(float64(st.n), 16*float64(st.n))
+		ws := st.fws[:0]
+		if fuse {
+			ws = append(ws, st.powU[j-1])
+			if !st.cfg.precond && 2*j < 2*st.s {
+				ws = append(ws, nil)
+			}
+		}
+		if len(ws) > 0 || scale != 1 {
+			dots := st.fdots[:len(ws)]
+			engine.SpMVFusedOn(st.e, st.powR[j], st.powU[j-1], scale, ws, dots)
+			if scale != 1 {
+				// The scale's flops; its memory sweep is absorbed by the SPMV.
+				st.e.Charge(float64(st.n), 0)
+			}
+			if len(ws) > 0 {
+				st.muVal[2*j-1] = dots[0]
+				st.muMask[2*j-1] = true
+				if len(ws) > 1 {
+					st.muVal[2*j] = dots[1]
+					st.muMask[2*j] = true
+				}
+			}
+		} else {
+			st.e.SpMV(st.powR[j], st.powU[j-1])
 		}
 		if st.cfg.precond {
 			st.e.ApplyPC(st.powU[j], st.powR[j])
@@ -199,30 +254,53 @@ func (st *sstepState) estimateSigma(b []float64) {
 }
 
 // packDots computes the fused reduction payload from the current powers and
-// direction blocks: moments, cross-Gram, Pᵀr, and the two norm terms.
+// direction blocks: moments, cross-Gram, Pᵀr, and the two norm terms. The
+// entries are blocked into shared sweeps — one DotPairs pass over the
+// moment/norm pairs, one GramLocal for the s×s cross-Gram, one DotsAgainst
+// for Pᵀr — each entry bit-identical to its separate vec.Dot (same chunk
+// geometry, same fold order) while reading the operand vectors once per
+// block instead of once per entry. Moment entries already produced inside a
+// fused SPMV (muMask) are consumed, not recomputed.
 func (st *sstepState) packDots() {
 	sp := st.ph.begin(obs.PhaseGram)
 	defer st.ph.end(sp)
 	s, n := st.s, st.n
 	mu := st.pay.Mu(st.buf)
-	for m := 0; m < 2*s; m++ {
-		a := m / 2
-		mu[m] = vec.Dot(st.powU[a], st.powR[m-a])
-	}
-	c := st.pay.C(st.buf)
-	for l := 0; l < s; l++ {
-		for j := 0; j < s; j++ {
-			c[l*s+j] = vec.Dot(st.aqR[0][l], st.powU[j])
-		}
-	}
-	gp := st.pay.GP(st.buf)
-	for l := 0; l < s; l++ {
-		gp[l] = vec.Dot(st.qU[l], st.powR[0])
-	}
 	ex := st.pay.Extra(st.buf)
-	ex[0] = vec.Dot(st.powU[0], st.powU[0])
-	ex[1] = vec.Dot(st.powR[0], st.powR[0])
-	chargeDots(st.e, n, 2*s+s*s+s+2)
+
+	nFused := 0
+	xs, ys, idx := st.pairX[:0], st.pairY[:0], st.pairI[:0]
+	for m := 0; m < 2*s; m++ {
+		if st.muMask[m] {
+			mu[m] = st.muVal[m]
+			st.muMask[m] = false
+			nFused++
+			continue
+		}
+		a := m / 2
+		xs = append(xs, st.powU[a])
+		ys = append(ys, st.powR[m-a])
+		idx = append(idx, m)
+	}
+	xs = append(xs, st.powU[0], st.powR[0])
+	ys = append(ys, st.powU[0], st.powR[0])
+	dots := st.pairD[:len(xs)]
+	vec.DotPairs(dots, xs, ys)
+	for k, m := range idx {
+		mu[m] = dots[k]
+	}
+	ex[0] = dots[len(idx)]
+	ex[1] = dots[len(idx)+1]
+
+	vec.GramLocal(st.pay.C(st.buf), st.aqR[0], vec.Multi(st.powU[:s]))
+	vec.DotsAgainst(st.pay.GP(st.buf), st.powR[0], st.qU)
+
+	chargeDots(st.e, n, 2*s+s*s+s+2-nFused)
+	if nFused > 0 {
+		// The fused dots' multiply-adds; the SPMV pass absorbed the product
+		// vector's read, leaving one operand stream per dot.
+		st.e.Charge(2*float64(n*nFused), 8*float64(n*nFused))
+	}
 }
 
 // norm2 selects the squared residual norm from the reduced payload.
@@ -307,11 +385,11 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 		if cfg.precond {
 			e.ApplyPC(st.powU[0], st.powR[0])
 		}
-		st.computePowers(1, s)
+		st.computePowers(1, s, true)
 		st.packDots()
 		if cfg.pipelined {
 			req := e.IallreduceSum(st.buf)
-			st.computePowers(s+1, 2*s)
+			st.computePowers(s+1, 2*s, false)
 			return req
 		}
 		e.AllreduceSum(st.buf)
@@ -478,7 +556,7 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 			if cfg.precond {
 				e.ApplyPC(st.powU[0], st.powR[0])
 			}
-			st.computePowers(1, s)
+			st.computePowers(1, s, true)
 		} else {
 			// Recurrence residual update: pow[j] -= AQm[j]·(σ·α_true) for
 			// every maintained image block (j = 0 for Alg. 4; j = 0..s for
@@ -499,7 +577,7 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 			st.ph.end(sp)
 			if !cfg.pipelined {
 				// Alg. 4: only r was advanced; powers 1..s need s SPMVs.
-				st.computePowers(1, s)
+				st.computePowers(1, s, true)
 			}
 		}
 
@@ -511,7 +589,7 @@ func solveSStep(e engine.Engine, b []float64, opt Options, cfg sstepConfig) (*Re
 			req = e.IallreduceSum(st.buf)
 			// The s overlapped SPMVs (+ s PCs): powers s+1..2s of the new
 			// residual — needed only by the next iteration's recurrences.
-			st.computePowers(s+1, 2*s)
+			st.computePowers(s+1, 2*s, false)
 		} else {
 			e.AllreduceSum(st.buf)
 		}

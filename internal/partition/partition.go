@@ -84,6 +84,12 @@ type Stats struct {
 	MaxNNZ       int // nonzeros on the most loaded rank
 	MaxHaloCols  int // largest number of off-rank columns any rank reads
 	MaxNeighbors int // largest number of distinct ranks any rank talks to
+
+	// TotalHaloCols is the halo volume: the sum over all ranks of the
+	// distinct off-rank columns each reads — the edge-cut proxy a row
+	// reordering (e.g. RCM) shrinks. Filled by ComputeStats; analytic
+	// GridSpec stats leave it zero.
+	TotalHaloCols int
 }
 
 // ComputeStats scans the matrix once and returns the partition statistics.
@@ -118,6 +124,7 @@ func ComputeStats(a *sparse.CSR, pt Partition) Stats {
 		if len(seenNbr) > st.MaxNeighbors {
 			st.MaxNeighbors = len(seenNbr)
 		}
+		st.TotalHaloCols += len(seenHalo)
 	}
 	return st
 }

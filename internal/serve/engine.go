@@ -63,6 +63,16 @@ func (e *cancelEngine) IallreduceSum(buf []float64) engine.Request {
 	return e.Engine.IallreduceSum(buf)
 }
 
+// SpMVFusedDots forwards the optional fused-SPMV capability (interface
+// embedding does not promote it through the wrapper's static type). Without
+// this, engine.SpMVFusedOn would fall back to its unfused emulation — whose
+// dot folds use a different chunk geometry — and every daemon solve would
+// drift bitwise from the CLI path.
+func (e *cancelEngine) SpMVFusedDots(dst, src []float64, scale float64, ws [][]float64, dots []float64) {
+	e.poll()
+	engine.SpMVFusedOn(e.Engine, dst, src, scale, ws, dots)
+}
+
 // BeginPhase/EndPhase forward the optional obs.PhaseTracker capability.
 // Embedding the Engine interface does not promote optional interfaces through
 // the wrapper's static type, so without these the solver's phase spans would
@@ -202,12 +212,13 @@ func (m *Manager) runSeq(j *Job, ctx context.Context, entry *Entry, pr bench.Pro
 		defer entry.ReleasePC(j.Req.PC, pc)
 	}
 
-	eng := engine.NewSeq(pr.A, pc)
+	eng := engine.NewSeq(pr.Operator(), pc)
 	eng.Tr = obs.New(0, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
 	*progressEng = eng
 	wrapped := &cancelEngine{Engine: eng, ctx: ctx}
 
 	res, err := m.solveRecovering(wrapped, pr.B, solver, opt)
+	unpermuteResult(res, pr.Perm)
 	sum := eng.Tr.Summary()
 	j.mu.Lock()
 	j.counters = *eng.Counters()
@@ -246,7 +257,7 @@ func (m *Manager) runComm(j *Job, ctx context.Context, entry *Entry, pr bench.Pr
 	ranks := j.Req.Ranks
 	pt := entry.Partition(ranks)
 	f := comm.NewFabric(ranks, 0).WithRecvTimeout(2*time.Second, 3)
-	engines := comm.NewEngines(f, pr.A, pt, factory)
+	engines := comm.NewEnginesOp(f, pr.A, pr.Operator(), pt, factory)
 	tracers := make([]*obs.Tracer, ranks)
 	for r, e := range engines {
 		tracers[r] = obs.New(r, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
@@ -319,7 +330,21 @@ func (m *Manager) runComm(j *Job, ctx context.Context, entry *Entry, pr bench.Pr
 			res = &assembled
 		}
 	}
+	unpermuteResult(res, pr.Perm)
 	m.classify(j, ctx, res, firstErr)
+}
+
+// unpermuteResult maps a solve's iterate back to the operator's source row
+// ordering when the registry reordered the system (RCM on uploads). It runs
+// before classify, so XHash and any returned X are in the ordering the
+// client uploaded.
+func unpermuteResult(res *krylov.Result, perm []int) {
+	if res == nil || res.X == nil || perm == nil {
+		return
+	}
+	x := make([]float64, len(res.X))
+	sparse.InversePermuteVec(x, res.X, perm)
+	res.X = x
 }
 
 // solveRecovering invokes the solver, converting a cancellation unwind back

@@ -237,7 +237,7 @@ type MatricesResponse struct {
 
 func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MatricesResponse{
-		Builtin:  []string{"poisson125", "poisson7", "ecology2", "thermal2", "serena"},
+		Builtin:  []string{"poisson125", "poisson7", "poisson5", "ecology2", "thermal2", "serena"},
 		Uploads:  s.Registry.Uploads(),
 		Resident: s.Registry.Summaries(),
 	})

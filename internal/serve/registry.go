@@ -309,15 +309,38 @@ func (g *Registry) Len() int {
 }
 
 // build constructs the problem for spec: an uploaded matrix by name, else a
-// built-in workload via the bench registry.
+// built-in workload via the bench registry. Uploaded operators are RCM
+// reordered at build time — bandwidth (and with it the row-block halo
+// volume) shrinks, and every derived artifact (partitions, halos, PCs) is
+// computed from the reordered system. Problem.Perm records the reordering;
+// the job runner un-permutes iterates before they reach the client, so the
+// reordering is invisible at the API boundary. Built-ins are left in their
+// native ordering, which keeps daemon solves bit-identical to the CLI path.
 func (g *Registry) build(spec ProblemSpec) (bench.Problem, error) {
 	g.mu.Lock()
 	a, ok := g.uploads[spec.Problem]
 	g.mu.Unlock()
 	if ok {
-		return bench.Problem{Name: spec.Problem, A: a, B: grid.OnesRHS(a), RelTol: 1e-5}, nil
+		pr := bench.Problem{Name: spec.Problem, A: a, B: grid.OnesRHS(a), RelTol: 1e-5}
+		if perm := sparse.RCMOrder(a); !isIdentityPerm(perm) {
+			pr.A = sparse.PermuteSym(a, perm)
+			// b = A·1 commutes with the symmetric permutation (P·1 = 1), so
+			// the reordered RHS is just OnesRHS of the reordered matrix.
+			pr.B = grid.OnesRHS(pr.A)
+			pr.Perm = perm
+		}
+		return pr, nil
 	}
 	return bench.ProblemByName(spec.Problem, spec.N, spec.Scale)
+}
+
+func isIdentityPerm(p []int) bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
 }
 
 // EntrySummary is the registry listing for the HTTP plane.

@@ -142,6 +142,14 @@ func TestServeSmoke(t *testing.T) {
 		}
 	}
 
+	// Disconnect the client's keep-alive pool before draining. Under the
+	// burst the transport sometimes dials a spare TCP conn that never
+	// carries a request; the server holds it in StateNew, and Shutdown
+	// refuses to reap StateNew conns until they have been idle >5s
+	// (net/http issue 22682) — longer than Drain's HTTP window. Real
+	// clients hang up; so does this one.
+	tr.CloseIdleConnections()
+
 	// Graceful drain (cmd/solverd runs this on SIGTERM): admissions close,
 	// remaining work finishes, the HTTP server shuts down.
 	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -48,6 +48,12 @@ type Engine struct {
 	A  *sparse.CSR
 	PC engine.Preconditioner
 
+	// Op, when set, is the operator the numerics run through (e.g. a
+	// matrix-free stencil). The cost model still prices A — replay needs the
+	// assembled structure for partition statistics — so A must describe the
+	// same operator. Nil means A itself.
+	Op engine.Operator
+
 	// Decomp, when set, tells the cost model to use an analytic 3D box
 	// decomposition (PETSc DMDA style) instead of 1D row blocks — the
 	// realistic distribution for structured stencil problems.
@@ -99,20 +105,43 @@ func (e *Engine) NLocal() int { return e.A.Rows }
 // NGlobal implements engine.Engine.
 func (e *Engine) NGlobal() int { return e.A.Rows }
 
+// op returns the operator the numerics run through.
+func (e *Engine) op() engine.Operator {
+	if e.Op != nil {
+		return e.Op
+	}
+	return e.A
+}
+
+// spmvEvent appends the modeled cost of one SPMV: 12 bytes per stored
+// nonzero (value + column index) plus streaming the source and destination
+// vectors.
+func (e *Engine) spmvEvent() {
+	nnz := float64(e.A.NNZ())
+	e.c.SpMV++
+	e.c.HaloExchanges++
+	e.c.SpMVFlops += 2 * nnz
+	e.events = append(e.events, event{kind: evSpMV, flops: 2 * nnz,
+		bytes: 12*nnz + 16*float64(e.A.Rows)})
+}
+
 // SpMV implements engine.Engine. The real product runs on the shared worker
 // pool (internal/par); the recorded event carries the modeled cost, which is
 // a function of the matrix only — wall-clock parallelism never leaks into
 // the virtual clock.
 func (e *Engine) SpMV(dst, src []float64) {
-	e.A.MulVec(dst, src)
-	nnz := float64(e.A.NNZ())
-	e.c.SpMV++
-	e.c.HaloExchanges++
-	e.c.SpMVFlops += 2 * nnz
-	// 12 bytes per stored nonzero (value + column index) plus streaming the
-	// source and destination vectors.
-	e.events = append(e.events, event{kind: evSpMV, flops: 2 * nnz,
-		bytes: 12*nnz + 16*float64(e.A.Rows)})
+	e.op().MulVec(dst, src)
+	e.spmvEvent()
+}
+
+// SpMVFusedDots implements engine.FusedSpMV: same numerics as the fused
+// operator kernel (bit-identical to Seq), priced as one SPMV event. The
+// scale/dot payload is charged by the caller, identically on every engine.
+func (e *Engine) SpMVFusedDots(dst, src []float64, scale float64, ws [][]float64, dots []float64) {
+	op := e.op()
+	rows, _ := op.Dims()
+	engine.FusedApply(op, dst, src, 0, rows, 0, scale, ws, dots)
+	e.spmvEvent()
 }
 
 // ApplyPC implements engine.Engine.
@@ -135,7 +164,7 @@ func (e *Engine) SpMVPowers(dst [][]float64, src []float64) {
 	cur := src
 	nnz := float64(e.A.NNZ())
 	for j := range dst {
-		e.A.MulVec(dst[j], cur)
+		e.op().MulVec(dst[j], cur)
 		cur = dst[j]
 		e.c.SpMV++
 		e.c.SpMVFlops += 2 * nnz

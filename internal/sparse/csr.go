@@ -8,9 +8,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/par"
+	"repro/internal/vec"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
@@ -18,21 +19,24 @@ import (
 // Row i's nonzeros are Col[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]],
 // with column indices strictly increasing within a row.
 //
-// The structure (Rows, RowPtr, Col) must not be mutated after the first
-// MulVec/ChunkPlan call: the parallel SPMV caches an nnz-balanced chunk plan
-// on the matrix. Mutating Val (e.g. Scale) is fine.
+// The parallel SPMV caches an nnz-balanced chunk plan on the matrix; callers
+// that mutate the structure (Rows, RowPtr, Col) after the first
+// MulVec/ChunkPlan call must call InvalidatePlan so the next product rebuilds
+// the plan. Mutating Val (e.g. Scale) is fine.
 type CSR struct {
 	Rows, Cols int
 	RowPtr     []int
 	Col        []int
 	Val        []float64
 
-	planOnce sync.Once
-	plan     Chunks
+	plan atomic.Pointer[Chunks]
 }
 
 // NNZ returns the number of stored nonzeros.
 func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Dims returns the matrix dimensions (rows, cols).
+func (a *CSR) Dims() (rows, cols int) { return a.Rows, a.Cols }
 
 // Entry is a coordinate-format matrix element used while assembling.
 type Entry struct {
@@ -146,22 +150,27 @@ type Chunks struct {
 	Bounds []int
 }
 
-// rowWork is the cumulative work coordinate at row r relative to row lo:
-// nonzeros plus one unit per row.
-func (a *CSR) rowWork(lo, r int) int {
-	return a.RowPtr[r] - a.RowPtr[lo] + (r - lo)
+// RowWork is the cumulative work coordinate at row r relative to row lo for
+// a row-pointer array: nonzeros plus one unit per row, so empty-row-heavy
+// structures still split. Shared by every operator that plans chunks over a
+// prefix-nnz array (CSR itself and the matrix-free stencils, which keep a
+// synthetic row-pointer purely so their chunk geometry — and hence every
+// fold order — matches the assembled matrix bit for bit).
+func RowWork(rowPtr []int, lo, r int) int {
+	return rowPtr[r] - rowPtr[lo] + (r - lo)
 }
 
-// searchRow returns the first row r in [lo, hi] with rowWork(lo, r) >= w.
-func (a *CSR) searchRow(lo, hi, w int) int {
+// SearchRow returns the first row r in [lo, hi] with RowWork(rowPtr, lo, r) >= w.
+func SearchRow(rowPtr []int, lo, hi, w int) int {
 	return lo + sort.Search(hi-lo, func(r int) bool {
-		return a.rowWork(lo, lo+r) >= w
+		return RowWork(rowPtr, lo, lo+r) >= w
 	})
 }
 
-// buildChunks places nnz-balanced chunk boundaries over rows [lo, hi).
-func (a *CSR) buildChunks(lo, hi int) Chunks {
-	total := a.rowWork(lo, hi)
+// WorkChunks places nnz-balanced chunk boundaries over rows [lo, hi) of a
+// row-pointer array. The geometry is a pure function of the structure.
+func WorkChunks(rowPtr []int, lo, hi int) Chunks {
+	total := RowWork(rowPtr, lo, hi)
 	nc := par.NumChunks(total)
 	if nc < 1 {
 		nc = 1
@@ -169,18 +178,39 @@ func (a *CSR) buildChunks(lo, hi int) Chunks {
 	bounds := make([]int, nc+1)
 	bounds[0] = lo
 	for c := 1; c < nc; c++ {
-		bounds[c] = a.searchRow(lo, hi, c*total/nc)
+		bounds[c] = SearchRow(rowPtr, lo, hi, c*total/nc)
 	}
 	bounds[nc] = hi
 	return Chunks{Bounds: bounds}
 }
 
+func (a *CSR) rowWork(lo, r int) int         { return RowWork(a.RowPtr, lo, r) }
+func (a *CSR) searchRow(lo, hi, w int) int   { return SearchRow(a.RowPtr, lo, hi, w) }
+func (a *CSR) buildChunks(lo, hi int) Chunks { return WorkChunks(a.RowPtr, lo, hi) }
+
 // ChunkPlan returns the matrix's cached full-range chunk plan, building it
 // on first use. Safe for concurrent callers (comm ranks share the matrix).
+// The cache is explicit: InvalidatePlan drops it after a structural change.
 func (a *CSR) ChunkPlan() *Chunks {
-	a.planOnce.Do(func() { a.plan = a.buildChunks(0, a.Rows) })
-	return &a.plan
+	if p := a.plan.Load(); p != nil {
+		return p
+	}
+	ch := a.buildChunks(0, a.Rows)
+	if a.plan.CompareAndSwap(nil, &ch) {
+		return &ch
+	}
+	if p := a.plan.Load(); p != nil {
+		return p
+	}
+	// A concurrent InvalidatePlan raced the CAS; our freshly built plan is
+	// still valid for the structure we read.
+	return &ch
 }
+
+// InvalidatePlan drops the cached chunk plan. Callers that mutate the matrix
+// structure (RowPtr/Col/Rows) must invalidate before the next product, or a
+// stale nnz-balanced plan — with out-of-range row bounds — would be served.
+func (a *CSR) InvalidatePlan() { a.plan.Store(nil) }
 
 // mulRows applies rows [r0, r1) of A to x, writing y[i-yoff] for row i. The
 // inner product over a row is 4-way unrolled; rows are never split across
@@ -254,6 +284,102 @@ func (a *CSR) MulVecRange(y, x []float64, lo, hi int) {
 // each rank's vectors are local slices of length hi-lo.
 func (a *CSR) MulVecRangeInto(y, x []float64, lo, hi int) {
 	a.mulVec(y, x, lo, hi, lo)
+}
+
+// mulRowsScaled is mulRows with the per-row result multiplied by scale —
+// y[i-yoff] = scale·(A·x)[i] — which is bit-identical to mulRows followed by
+// an element-wise scale of y (one IEEE multiply either way), but saves the
+// extra read+write sweep over y.
+func (a *CSR) mulRowsScaled(y, x []float64, r0, r1, yoff int, scale float64) {
+	if scale == 1 {
+		a.mulRows(y, x, r0, r1, yoff)
+		return
+	}
+	for i := r0; i < r1; i++ {
+		var s0, s1, s2, s3 float64
+		k := a.RowPtr[i]
+		end := a.RowPtr[i+1]
+		for ; k+4 <= end; k += 4 {
+			s0 += a.Val[k] * x[a.Col[k]]
+			s1 += a.Val[k+1] * x[a.Col[k+1]]
+			s2 += a.Val[k+2] * x[a.Col[k+2]]
+			s3 += a.Val[k+3] * x[a.Col[k+3]]
+		}
+		for ; k < end; k++ {
+			s0 += a.Val[k] * x[a.Col[k]]
+		}
+		y[i-yoff] = ((s0 + s1) + (s2 + s3)) * scale
+	}
+}
+
+// chunkFusedDots accumulates the local dot partials for rows [r0, r1) of the
+// fused kernel: out[k] += ws[k]·y over the chunk's local index range, with a
+// nil ws[k] meaning y·y. ws and y share local indexing (global row i at
+// i-yoff).
+func chunkFusedDots(out []float64, ws [][]float64, y []float64, r0, r1, yoff int) {
+	for k, w := range ws {
+		if w == nil {
+			w = y
+		}
+		out[k] += vec.DotRange(w, y, r0-yoff, r1-yoff)
+	}
+}
+
+// MulVecFused computes y[i-yoff] = scale·(A·x)[i] for rows [lo, hi) and the
+// local dot products dots[k] = ws[k]·y (nil ws[k] means y·y) in one pass over
+// the rows, so the freshly produced chunk of y is dotted while still hot.
+//
+// Determinism contract: the row chunking is the same nnz-balanced plan the
+// plain product uses, each chunk's dot partial is a fixed-association
+// DotRange, and the partials fold in ascending chunk order — so the bits of
+// y and dots depend only on the matrix structure and the row range, never on
+// the worker count. y equals the unfused product scaled by scale exactly;
+// the dots differ from vec.Dot only in chunk geometry (row-work-balanced
+// instead of length-uniform), deterministically.
+func (a *CSR) MulVecFused(y, x []float64, lo, hi, yoff int, scale float64, ws [][]float64, dots []float64) {
+	if len(ws) != len(dots) {
+		panic("sparse: MulVecFused ws/dots length mismatch")
+	}
+	for k := range dots {
+		dots[k] = 0
+	}
+	if len(x) < a.Cols {
+		panic(fmt.Sprintf("sparse: MulVecFused x too short: %d < %d", len(x), a.Cols))
+	}
+	if lo >= hi {
+		return
+	}
+	total := a.rowWork(lo, hi)
+	nc := par.NumChunks(total)
+	if nc <= 1 {
+		a.mulRowsScaled(y, x, lo, hi, yoff, scale)
+		chunkFusedDots(dots, ws, y, lo, hi, yoff)
+		return
+	}
+	nd := len(ws)
+	var bounds []int
+	if lo == 0 && hi == a.Rows {
+		bounds = a.ChunkPlan().Bounds
+		nc = len(bounds) - 1
+	}
+	partials := make([]float64, nc*nd)
+	par.Default().ForChunks(nc, func(c int) {
+		var r0, r1 int
+		if bounds != nil {
+			r0, r1 = bounds[c], bounds[c+1]
+		} else {
+			r0 = a.searchRow(lo, hi, c*total/nc)
+			r1 = a.searchRow(lo, hi, (c+1)*total/nc)
+		}
+		a.mulRowsScaled(y, x, r0, r1, yoff, scale)
+		chunkFusedDots(partials[c*nd:(c+1)*nd], ws, y, r0, r1, yoff)
+	})
+	// Ascending chunk order: the fold is a pure function of the geometry.
+	for c := 0; c < nc; c++ {
+		for k := 0; k < nd; k++ {
+			dots[k] += partials[c*nd+k]
+		}
+	}
 }
 
 // diagInto fills d[i-lo] with a(i,i) for rows [lo, hi) in one linear pass

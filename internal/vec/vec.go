@@ -58,6 +58,14 @@ func axpyRange(y []float64, a float64, x []float64, lo, hi int) {
 	}
 }
 
+// DotRange returns Σ x[i]·y[i] over [lo, hi) with the package's fixed 4-way
+// unrolled association. Exported for operator kernels (sparse, grid) that
+// fold dot partials over their own chunk geometry and must match the fold
+// this package uses bit for bit.
+func DotRange(x, y []float64, lo, hi int) float64 {
+	return dotRange(x, y, lo, hi)
+}
+
 // Dot returns Σ x[i]·y[i], chunk-parallel with a fixed-order reduction.
 func Dot(x, y []float64) float64 {
 	var out [1]float64
@@ -65,6 +73,24 @@ func Dot(x, y []float64) float64 {
 		o[0] += dotRange(x, y, lo, hi)
 	})
 	return out[0]
+}
+
+// DotPairs computes dst[k] = xs[k]·ys[k] for every pair in one chunk sweep —
+// the same chunk geometry and fold order as len(dst) separate Dot calls, so
+// each entry is bit-identical to Dot(xs[k], ys[k]), but all pairs share one
+// pass over the index space (one scheduling round instead of len(dst)).
+func DotPairs(dst []float64, xs, ys [][]float64) {
+	if len(xs) != len(dst) || len(ys) != len(dst) {
+		panic("vec: DotPairs length mismatch")
+	}
+	if len(dst) == 0 {
+		return
+	}
+	par.Default().RangeReduce(dst, len(xs[0]), func(lo, hi int, out []float64) {
+		for k := range xs {
+			out[k] += dotRange(xs[k], ys[k], lo, hi)
+		}
+	})
 }
 
 // Norm2 returns the Euclidean norm of x.
