@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke audit timeline tier1
+.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke cluster-chaos audit timeline tier1
 
 all: tier1
 
@@ -19,7 +19,7 @@ test:
 # parallel, and the kernel packages saturate the worker pool — co-scheduling
 # them with the timing-sensitive serve drain smoke makes its deadline flaky.
 race:
-	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/... ./internal/audit/... ./internal/obs/...
+	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/... ./internal/cluster/... ./internal/audit/... ./internal/obs/...
 	$(GO) test -race ./internal/sparse/... ./internal/grid/... ./internal/vec/...
 
 vet:
@@ -36,6 +36,14 @@ chaos:
 # drain, goroutine-leak assertion — all under the race detector.
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke -v -count=1 ./internal/serve
+
+# Inter-daemon chaos: three real solverd shards behind a solverouter on real
+# sockets, a keyed load, and a SIGKILL-equivalent crash of one shard staged
+# mid-solve — zero lost jobs, exactly-once retries via idempotency keys,
+# x_hash bit-identical to the single-daemon baseline, goroutine-leak
+# assertion — all under the race detector.
+cluster-chaos:
+	$(GO) test -race -run TestClusterChaos -v -count=1 ./internal/cluster
 
 # Differential correctness harness: a seeded config sweep through every
 # runtime (seq, sim, comm P∈{1,4,7}) judged for bit-identity, cross-rank
@@ -54,9 +62,9 @@ timeline:
 
 # tier1 is the gate every change must pass: build, vet, full tests, the
 # race detector over the concurrent packages, the chaos suite, the
-# solver-service smoke, the differential audit sweep, the timeline export
-# smoke, and the hot-path kernel perf smoke.
-tier1: build vet test race chaos serve-smoke audit timeline perf
+# solver-service smoke, the inter-daemon cluster chaos run, the differential
+# audit sweep, the timeline export smoke, and the hot-path kernel perf smoke.
+tier1: build vet test race chaos serve-smoke cluster-chaos audit timeline perf
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -5,18 +5,35 @@
 // failed. The run is "clean" (exit 0) only when no job is lost: submitted
 // work must end in exactly one of those buckets.
 //
+// Backpressure is a first-class outcome, not an error: a 429 (or drain 503)
+// response is retried up to -retries times, honoring the server's
+// Retry-After header with an exponential, -retry-cap-bounded fallback.
+// Only a job still rejected after its retry budget files under rejected.
+//
+// With -cluster the bench speaks the solverouter dialect: every job carries
+// an idempotency key, transport errors are retried by resubmitting the SAME
+// key (the cluster dedups, so a retry can attach but never double-solve),
+// and the run asserts ZERO lost jobs — against a healthy cluster every
+// submission must converge, even if a shard dies mid-run.
+//
 // Example (against a local solverd):
 //
 //	solverbench -addr 127.0.0.1:8080 -clients 32 -jobs 4 \
 //	    -problems 'poisson7:5,poisson7:6,poisson125:8,thermal2:64'
+//
+// Example (against a router fronting three shards):
+//
+//	solverbench -addr 127.0.0.1:8090 -cluster -clients 32 -jobs 4
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,14 +45,22 @@ import (
 
 type outcome struct {
 	converged, rejected, canceled, failed, lost int
+	retries, failovers                          int
 	latencies                                   []time.Duration
+}
+
+type benchConfig struct {
+	url      string
+	retries  int
+	retryCap time.Duration
+	cluster  bool
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("solverbench: ")
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "solverd address")
+		addr     = flag.String("addr", "127.0.0.1:8080", "solverd (or solverouter) address")
 		clients  = flag.Int("clients", 32, "concurrent closed-loop clients")
 		jobs     = flag.Int("jobs", 4, "jobs per client")
 		problems = flag.String("problems", "poisson7:5,poisson7:6,poisson125:8,thermal2:64",
@@ -43,6 +68,10 @@ func main() {
 		method    = flag.String("method", "", "solver method (empty = server default, the resilience ladder)")
 		pc        = flag.String("pc", "", "preconditioner (empty = server default)")
 		timeoutMS = flag.Int("timeout-ms", 0, "per-job budget override in milliseconds")
+		retries   = flag.Int("retries", 8, "max backpressure (429/503) retries per job, honoring Retry-After")
+		retryCap  = flag.Duration("retry-cap", 2*time.Second, "upper bound on any single retry sleep")
+		cluster   = flag.Bool("cluster", false,
+			"cluster mode: idempotency-keyed jobs, transport-error resubmission, zero-lost-jobs assertion")
 	)
 	flag.Parse()
 
@@ -50,8 +79,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	url := "http://" + strings.TrimPrefix(*addr, "http://")
+	cfg := benchConfig{
+		url:      "http://" + strings.TrimPrefix(*addr, "http://"),
+		retries:  *retries,
+		retryCap: *retryCap,
+		cluster:  *cluster,
+	}
 
+	nonce := time.Now().UnixNano()
 	results := make([]outcome, *clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -62,7 +97,10 @@ func main() {
 			for k := 0; k < *jobs; k++ {
 				req := specs[(c+k)%len(specs)]
 				req.Method, req.PC, req.TimeoutMS = *method, *pc, *timeoutMS
-				results[c].account(url, req)
+				if cfg.cluster {
+					req.JobKey = fmt.Sprintf("bench-%x-%d-%d", nonce, c, k)
+				}
+				results[c].account(cfg, req)
 			}
 		}(c)
 	}
@@ -76,13 +114,18 @@ func main() {
 		total.canceled += r.canceled
 		total.failed += r.failed
 		total.lost += r.lost
+		total.retries += r.retries
+		total.failovers += r.failovers
 		total.latencies = append(total.latencies, r.latencies...)
 	}
 	submitted := *clients * *jobs
 	fmt.Printf("submitted %d jobs from %d clients over %d specs in %s\n",
 		submitted, *clients, len(specs), elapsed.Round(time.Millisecond))
-	fmt.Printf("  converged %d  rejected(429) %d  canceled %d  failed %d  lost %d\n",
-		total.converged, total.rejected, total.canceled, total.failed, total.lost)
+	fmt.Printf("  converged %d  rejected(429) %d  canceled %d  failed %d  lost %d  client-retries %d\n",
+		total.converged, total.rejected, total.canceled, total.failed, total.lost, total.retries)
+	if cfg.cluster {
+		fmt.Printf("  cluster: %d responses served after router failover (X-Cluster-Attempts > 1)\n", total.failovers)
+	}
 	if n := len(total.latencies); n > 0 {
 		sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
 		fmt.Printf("  latency p50 %s  p95 %s  max %s\n",
@@ -93,40 +136,93 @@ func main() {
 	if total.lost > 0 || total.failed > 0 {
 		log.Fatalf("run not clean: %d lost, %d failed", total.lost, total.failed)
 	}
+	if cfg.cluster && total.converged+total.canceled != submitted {
+		log.Printf("cluster assertion failed: %d of %d jobs converged/canceled (zero lost jobs required)",
+			total.converged+total.canceled, submitted)
+		os.Exit(1)
+	}
 }
 
-// account issues one synchronous solve and files the response in a bucket.
-func (o *outcome) account(url string, req serve.SolveRequest) {
+// retrySleep picks the backpressure pause for the given retry ordinal: the
+// server's Retry-After when it sent one, else an exponential fallback, both
+// clamped to the cap.
+func retrySleep(resp *http.Response, attempt int, cap time.Duration) time.Duration {
+	d := time.Duration(0)
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		d = time.Duration(ra) * time.Second
+	}
+	if d <= 0 {
+		d = 25 * time.Millisecond << uint(attempt)
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// account drives one job to an accounted outcome: synchronous solve, with
+// backpressure retried on the server's schedule and — in cluster mode —
+// transport errors resubmitted under the job's idempotency key.
+func (o *outcome) account(cfg benchConfig, req serve.SolveRequest) {
 	body, _ := json.Marshal(req)
 	t0 := time.Now()
-	resp, err := http.Post(url+"/v1/solve", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		o.lost++
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(cfg.url+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// Transport failure. In cluster mode the idempotency key makes a
+			// resubmission safe (it attaches if the job was accepted); direct
+			// mode has no such guarantee, so the job counts as lost.
+			if cfg.cluster && attempt < cfg.retries {
+				o.retries++
+				time.Sleep(min(25*time.Millisecond<<uint(attempt), cfg.retryCap))
+				continue
+			}
+			o.lost++
+			return
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			d := retrySleep(resp, attempt, cfg.retryCap)
+			resp.Body.Close()
+			if attempt < cfg.retries {
+				o.retries++
+				time.Sleep(d)
+				continue
+			}
+			o.rejected++
+			return
+		case http.StatusOK:
+		default:
+			resp.Body.Close()
+			o.lost++
+			return
+		}
+		var st serve.JobStatus
+		derr := json.NewDecoder(resp.Body).Decode(&st)
+		if cfg.cluster {
+			if a, _ := strconv.Atoi(resp.Header.Get("X-Cluster-Attempts")); a > 1 {
+				o.failovers++
+			}
+		}
+		resp.Body.Close()
+		if derr != nil {
+			if cfg.cluster && attempt < cfg.retries {
+				o.retries++
+				continue
+			}
+			o.lost++
+			return
+		}
+		switch st.State {
+		case serve.JobConverged:
+			o.converged++
+			o.latencies = append(o.latencies, time.Since(t0))
+		case serve.JobCanceled:
+			o.canceled++
+		default:
+			o.failed++
+		}
 		return
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusTooManyRequests:
-		o.rejected++
-		return
-	case http.StatusOK:
-	default:
-		o.lost++
-		return
-	}
-	var st serve.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		o.lost++
-		return
-	}
-	switch st.State {
-	case serve.JobConverged:
-		o.converged++
-		o.latencies = append(o.latencies, time.Since(t0))
-	case serve.JobCanceled:
-		o.canceled++
-	default:
-		o.failed++
 	}
 }
 

@@ -19,6 +19,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"log/slog"
 	"net"
@@ -43,9 +44,15 @@ func main() {
 		drainFor   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
 		load       = flag.String("load", "", "comma-separated MatrixMarket files (.mtx, .mtx.gz) to register at boot")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		shard      = flag.String("shard", "", "shard identity inside a cluster (prefixes job IDs, labels /metrics)")
+		peers      = flag.String("peers", "", "peer shards as name=http://host:port,... (served on GET /v1/cluster for router discovery)")
 	)
 	flag.Parse()
 
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	s := serve.New(serve.Config{
 		QueueDepth:    *queue,
 		Workers:       *workers,
@@ -53,6 +60,8 @@ func main() {
 		MaxJobRuntime: *maxRuntime,
 		Log:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		EnablePprof:   *pprofOn,
+		ShardID:       *shard,
+		Peers:         peerMap,
 	})
 	if *load != "" {
 		for _, path := range strings.Split(*load, ",") {
@@ -71,6 +80,9 @@ func main() {
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shard != "" {
+		log.Printf("shard %q with %d registered peers", *shard, len(peerMap))
 	}
 	log.Printf("listening on %s", l.Addr())
 
@@ -96,4 +108,24 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}
+}
+
+// parsePeers turns "s1=http://h:p,s2=http://h:p" into a name→URL map.
+func parsePeers(list string) (map[string]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad peer %q: want name=url", part)
+		}
+		out[name] = url
+	}
+	return out, nil
 }

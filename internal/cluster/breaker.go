@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the shard is trusted; requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the open interval elapsed; one trial request probes
+	// whether the shard recovered.
+	BreakerHalfOpen
+	// BreakerOpen: consecutive failures crossed the threshold; requests are
+	// refused without dialing until the open interval elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker is a per-shard circuit breaker: closed → open after Threshold
+// consecutive failures, open → half-open after OpenFor, half-open → closed on
+// a success or back to open on a failure. While open, the router skips the
+// shard without paying a dial timeout — the difference between a failover
+// that adds one backoff step and one that stalls every request behind a dead
+// peer's TCP timeout.
+type Breaker struct {
+	threshold int
+	openFor   time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive, while closed
+	openedAt time.Time // entry into BreakerOpen
+	probing  bool      // a half-open trial is in flight
+}
+
+// NewBreaker builds a closed breaker. threshold <= 0 defaults to 3 and
+// openFor <= 0 to 2 s.
+func NewBreaker(threshold int, openFor time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if openFor <= 0 {
+		openFor = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, openFor: openFor, now: time.Now}
+}
+
+// Allow reports whether a request may be sent. In the half-open state only
+// one trial is admitted at a time; its Success or Failure decides the next
+// state, and concurrent callers are refused meanwhile.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed request (or health probe) and closes the
+// breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed request. The threshold applies to consecutive
+// failures while closed; a half-open trial failure reopens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// State returns the current position, promoting an expired open interval to
+// half-open so observers (metrics, routing) see the same state Allow would.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.openFor {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy is the router's resubmission schedule: up to MaxAttempts total
+// tries, sleeping Base·2^attempt (capped at Cap) with ±50% jitter between
+// them. Jitter decorrelates the retry storms of many concurrent requests
+// that watched the same shard die — without it they all re-dial on the same
+// beat and the failover target absorbs the whole burst at once.
+//
+// Resubmission is only safe because every routed job carries an idempotency
+// key: a retry that lands on a shard that already accepted the first attempt
+// is deduplicated by internal/serve and attaches to the original job instead
+// of double-solving it.
+//
+// RetryPolicy is a plain value; the router instantiates a retrier around it
+// to own the jitter stream.
+type RetryPolicy struct {
+	MaxAttempts int           // total tries, including the first; <=0 → 3
+	Base        time.Duration // first backoff step; <=0 → 50 ms
+	Cap         time.Duration // backoff ceiling; <=0 → 2 s
+	Seed        int64         // jitter stream seed; 0 → 1 (deterministic tests)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 2 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// retrier pairs a RetryPolicy with its jitter source.
+type retrier struct {
+	p   RetryPolicy
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	p = p.withDefaults()
+	return &retrier{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Attempts returns the total try budget.
+func (r *retrier) Attempts() int { return r.p.MaxAttempts }
+
+// Backoff returns the sleep before retry number attempt (attempt 1 = first
+// retry): min(Cap, Base·2^(attempt-1)) scaled by a uniform factor in
+// [0.5, 1.5).
+func (r *retrier) Backoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := r.p.Base << uint(attempt-1)
+	if d > r.p.Cap || d <= 0 { // <=0: shift overflow
+		d = r.p.Cap
+	}
+	r.mu.Lock()
+	f := 0.5 + r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,162 @@
+// Package cluster scales the PR-3 solver service from one daemon to N: a
+// consistent-hash ring assigns operators to shards (so the registry's
+// build-once/solve-many locality survives membership change), a stateless
+// HTTP router proxies submit/stream/status to the owning shard, per-shard
+// health probes drive a circuit breaker, and a retry policy with exponential
+// backoff + jitter resubmits work after a shard death — made safe by
+// client-supplied idempotency job keys that internal/serve deduplicates, so
+// a resubmitted job is never double-solved.
+//
+// The fault model is the PR-2 fabric's, lifted one layer: there, ranks of one
+// solve drop and corrupt messages; here, whole daemons die mid-solve. The
+// invariant is the same — zero lost jobs, bit-identical iterates — and the
+// chaos harness in this package (3 in-process shards under load, one killed
+// mid-solve) asserts it the same way `make chaos` does for the fabric.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is the per-member virtual-node count. More vnodes flatten
+// the load distribution and shrink the variance of the remap fraction on
+// membership change toward the ideal 1/N; 128 keeps both within ~1.5× ideal
+// for cluster sizes up to a few dozen shards (see TestRingRemapFraction).
+const DefaultVNodes = 128
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle owned
+// by a member.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Keys (operator specs)
+// map to the member owning the first virtual node clockwise from the key's
+// hash; adding or removing one member remaps only the arcs adjacent to its
+// vnodes — about 1/N of the key space — so N-1 shards keep their resident
+// operator caches warm across a membership change.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members []string // sorted, for deterministic iteration
+	points  []ringPoint
+}
+
+// NewRing builds a ring with the given virtual-node count per member
+// (vnodes <= 0 takes DefaultVNodes).
+func NewRing(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes}
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+// hashKey positions a key on the circle: FNV-1a for byte mixing, then a
+// SplitMix64 finalizer. FNV alone clusters on short, similar strings (vnode
+// labels differ in one digit); the finalizer's avalanche spreads them.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the SplitMix64 finalizer (same constants as internal/audit's
+// generator) — full avalanche, so adjacent inputs land far apart.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.SearchStrings(r.members, member)
+	if i < len(r.members) && r.members[i] == member {
+		return
+	}
+	r.members = append(r.members, "")
+	copy(r.members[i+1:], r.members[i:])
+	r.members[i] = member
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", member, v)), member: member})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a member and its virtual nodes (idempotent).
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.SearchStrings(r.members, member)
+	if i >= len(r.members) || r.members[i] != member {
+		return
+	}
+	r.members = append(r.members[:i], r.members[i+1:]...)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.members...)
+}
+
+// Lookup returns the member owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	owners := r.LookupN(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// LookupN returns up to n distinct members for key, in ring order: the owner
+// first, then the replica successors. Walking clockwise from the key's hash
+// yields the same primary for every n, so the replica set is a strict
+// extension of the single-owner answer — the property replication relies on
+// (the secondary is stable while the primary is up, and becomes the routing
+// target the moment the primary's breaker opens).
+func (r *Ring) LookupN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, ok := seen[p.member]; ok {
+			continue
+		}
+		seen[p.member] = struct{}{}
+		out = append(out, p.member)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// testKeys builds a synthetic operator-key population shaped like the real
+// one: registry cache keys "name/n=../scale=..".
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("op-%d/n=%d/scale=%d", i, 5+i%40, 32+i%7)
+	}
+	return keys
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i)
+	}
+	return out
+}
+
+// TestRingDistribution: with virtual nodes, key load per shard stays close
+// to uniform for every cluster size the service targets (3–16 shards). The
+// bound is deliberately loose — consistent hashing trades perfect balance
+// for minimal remapping — but a broken hash (clustered vnodes) blows it by
+// integer factors.
+func TestRingDistribution(t *testing.T) {
+	keys := testKeys(20000)
+	for shards := 3; shards <= 16; shards++ {
+		r := NewRing(0, members(shards)...)
+		load := map[string]int{}
+		for _, k := range keys {
+			owner := r.Lookup(k)
+			if owner == "" {
+				t.Fatalf("shards=%d: no owner for %q", shards, k)
+			}
+			load[owner]++
+		}
+		if len(load) != shards {
+			t.Fatalf("shards=%d: only %d shards received keys", shards, len(load))
+		}
+		mean := float64(len(keys)) / float64(shards)
+		for m, c := range load {
+			ratio := float64(c) / mean
+			if ratio < 0.5 || ratio > 1.6 {
+				t.Errorf("shards=%d: %s load %d is %.2f× mean %.0f (want within [0.5, 1.6])",
+					shards, m, c, ratio, mean)
+			}
+		}
+	}
+}
+
+// TestRingRemapFraction: adding or removing one shard must remap about 1/N
+// of the key space — the consistent-hashing contract that keeps N-1 registry
+// caches warm across membership change. Acceptance bound: ≤ 1.5/N.
+func TestRingRemapFraction(t *testing.T) {
+	keys := testKeys(20000)
+	for shards := 3; shards <= 16; shards++ {
+		base := NewRing(0, members(shards)...)
+		before := make([]string, len(keys))
+		for i, k := range keys {
+			before[i] = base.Lookup(k)
+		}
+
+		// Join: one new shard.
+		joined := NewRing(0, members(shards)...)
+		joined.Add(fmt.Sprintf("s%d", shards))
+		moved := 0
+		for i, k := range keys {
+			if joined.Lookup(k) != before[i] {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		bound := 1.5 / float64(shards+1)
+		if frac > bound {
+			t.Errorf("join at N=%d: remapped %.4f of keys, want ≤ %.4f", shards, frac, bound)
+		}
+
+		// Leave: remove one existing shard. Keys on the removed shard MUST
+		// move; nothing else may.
+		left := NewRing(0, members(shards)...)
+		victim := "s1"
+		left.Remove(victim)
+		moved = 0
+		for i, k := range keys {
+			after := left.Lookup(k)
+			if after == victim {
+				t.Fatalf("leave at N=%d: key %q still maps to removed shard", shards, k)
+			}
+			if after != before[i] {
+				if before[i] != victim {
+					t.Errorf("leave at N=%d: key %q moved %s→%s though its owner survived",
+						shards, k, before[i], after)
+				}
+				moved++
+			}
+		}
+		frac = float64(moved) / float64(len(keys))
+		bound = 1.5 / float64(shards)
+		if frac > bound {
+			t.Errorf("leave at N=%d: remapped %.4f of keys, want ≤ %.4f", shards, frac, bound)
+		}
+	}
+}
+
+// TestRingLookupN: the replica set extends the single-owner answer, holds
+// distinct members, and the primary is stable for any n.
+func TestRingLookupN(t *testing.T) {
+	r := NewRing(0, "s0", "s1", "s2")
+	for _, k := range testKeys(500) {
+		one := r.Lookup(k)
+		two := r.LookupN(k, 2)
+		all := r.LookupN(k, 5) // capped at membership
+		if len(two) != 2 || len(all) != 3 {
+			t.Fatalf("LookupN sizes: got %d and %d, want 2 and 3", len(two), len(all))
+		}
+		if two[0] != one || all[0] != one {
+			t.Fatalf("primary not stable across n for %q: %s vs %s/%s", k, one, two[0], all[0])
+		}
+		seen := map[string]bool{}
+		for _, m := range all {
+			if seen[m] {
+				t.Fatalf("duplicate member %s in replica set for %q", m, k)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Lookup("k"); got != "" {
+		t.Fatalf("empty ring Lookup = %q, want \"\"", got)
+	}
+	r.Add("a")
+	r.Add("a") // idempotent: vnode count must not double
+	if n := len(r.points); n != 8 {
+		t.Fatalf("idempotent Add: %d points, want 8", n)
+	}
+	r.Remove("missing") // no-op
+	r.Remove("a")
+	if got := r.Lookup("k"); got != "" {
+		t.Fatalf("after removing last member Lookup = %q, want \"\"", got)
+	}
+}
+
+func TestRetrierBackoff(t *testing.T) {
+	r := newRetrier(RetryPolicy{MaxAttempts: 5, Base: 100 * time.Millisecond, Cap: 400 * time.Millisecond})
+	if r.Attempts() != 5 {
+		t.Fatalf("Attempts = %d", r.Attempts())
+	}
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := r.Backoff(attempt)
+		ideal := 100 * time.Millisecond << uint(attempt-1)
+		if ideal > 400*time.Millisecond || ideal <= 0 {
+			ideal = 400 * time.Millisecond
+		}
+		lo, hi := ideal/2, ideal+ideal/2
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: backoff %v outside jitter window [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+	// Far attempts must not overflow the shift into a negative duration.
+	if d := r.Backoff(200); d < 200*time.Millisecond || d > 600*time.Millisecond {
+		t.Errorf("attempt 200: backoff %v outside capped window", d)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, 2*time.Second)
+	b.now = func() time.Time { return now }
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("below threshold must stay closed")
+	}
+	b.Success() // success resets the consecutive count
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("reset + 2 failures must stay closed")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("threshold consecutive failures must open and refuse")
+	}
+
+	now = now.Add(time.Second)
+	if b.Allow() {
+		t.Fatal("open interval not elapsed: must refuse")
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("elapsed open interval must read half-open, got %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open must admit one trial")
+	}
+	if b.Allow() {
+		t.Fatal("half-open must refuse a second concurrent trial")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed trial must reopen")
+	}
+	now = now.Add(3 * time.Second)
+	if !b.Allow() {
+		t.Fatal("reopened interval elapsed: must admit a trial")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful trial must close")
+	}
+}

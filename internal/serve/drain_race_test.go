@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDrainAccountsEverySubmission pins the drain critical-section contract
+// deterministically: every admission outcome that happened before drain
+// completed — accepted (later canceled), queue-full rejected, drain-refused
+// — is present in the metrics the final flush reads.
+func TestDrainAccountsEverySubmission(t *testing.T) {
+	release := make(chan struct{})
+	running := make(chan struct{}, 1)
+	s := New(Config{Workers: 1, QueueDepth: 4, testHookBeforeRun: func(j *Job) {
+		// Park the worker until the job is cancelled, so queued jobs stay
+		// queued and drain must take its deadline path.
+		select {
+		case running <- struct{}{}:
+		default:
+		}
+		select {
+		case <-j.ctx.Done():
+		case <-release:
+		}
+	}})
+
+	spec := SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}}
+	var accepted []*Job
+	// 1 running + 4 queued fills worker and queue. Wait for the worker to
+	// dequeue the first job so the remaining four fit in the queue.
+	for i := 0; i < 5; i++ {
+		j, err := s.Jobs.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Jobs.Get(j.ID); got != j {
+			t.Fatalf("job %s not findable immediately after Submit returned", j.ID)
+		}
+		accepted = append(accepted, j)
+		if i == 0 {
+			<-running
+		}
+	}
+	if _, err := s.Jobs.Submit(spec); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("6th submission: got %v, want ErrQueueFull", err)
+	}
+	if got := s.Metrics.jobsRejected.Load(); got != 1 {
+		t.Fatalf("jobsRejected = %d at rejection return, want 1", got)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	drained := make(chan struct{})
+	go func() { s.Jobs.Drain(dctx); close(drained) }()
+
+	// Once admissions are observably closed, a refusal must be counted by
+	// the time Submit returns.
+	for !s.Jobs.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Jobs.Submit(spec); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submission during drain: got %v, want ErrDraining", err)
+	}
+	if got := s.Metrics.jobsDrained.Load(); got != 1 {
+		t.Fatalf("jobsDrained = %d at refusal return, want 1", got)
+	}
+
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not return: a job escaped the deadline cancel sweep")
+	}
+	for _, j := range accepted {
+		if st := j.State(); st != JobCanceled {
+			t.Errorf("job %s: state %s after deadline drain, want canceled", j.ID, st)
+		}
+	}
+	if got := s.Metrics.jobsCanceled.Load(); got != int64(len(accepted)) {
+		t.Errorf("jobsCanceled = %d in final metrics, want %d", got, len(accepted))
+	}
+	if q, r := s.Jobs.QueueDepth(), s.Jobs.InFlight(); q != 0 || r != 0 {
+		t.Errorf("after drain: %d queued, %d running", q, r)
+	}
+}
+
+// TestDrainRaceNoOrphanedJobs is the regression for the drain race this PR
+// fixed: a job used to be enqueued (visible to a worker) before it was
+// registered in the manager's job table, so a submission racing drain start
+// could slip past the deadline sweep's List() — unseen, uncancellable — and
+// stall drain until the solve finished naturally (or, with a supervisor
+// enforcing the drain budget via SIGKILL, forever, losing the final metrics
+// flush). With admission and registration in one critical section against
+// drain start, every admitted job is sweepable and drain's deadline path is
+// bounded.
+//
+// The test makes the old bug lethal instead of slow: jobs park in the
+// pre-run hook until cancelled, so a job the sweep cannot see would hang its
+// worker — and Drain — indefinitely.
+func TestDrainRaceNoOrphanedJobs(t *testing.T) {
+	const rounds = 20
+	const submitters = 8
+	for round := 0; round < rounds; round++ {
+		s := New(Config{Workers: 2, QueueDepth: 16, testHookBeforeRun: func(j *Job) {
+			<-j.ctx.Done() // only a cancel sweep (or job cancel) frees the worker
+		}})
+
+		var wg sync.WaitGroup
+		var acceptedN atomic.Int64
+		stop := make(chan struct{})
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					j, err := s.Jobs.Submit(SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}})
+					if errors.Is(err, ErrDraining) {
+						return
+					}
+					if err == nil {
+						_ = j
+						acceptedN.Add(1)
+					}
+				}
+			}()
+		}
+
+		// Let submissions build, then drain with a short deadline while the
+		// submitters are still firing — the racing window this test exists
+		// for.
+		time.Sleep(2 * time.Millisecond)
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		done := make(chan struct{})
+		go func() { s.Jobs.Drain(dctx); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			t.Fatalf("round %d: drain hung — an admitted job escaped the cancel sweep", round)
+		}
+		cancel()
+		close(stop)
+		wg.Wait()
+
+		// Every accepted job must have reached a terminal state and been
+		// counted before drain returned (the final flush reads these).
+		counted := s.Metrics.jobsCanceled.Load() + s.Metrics.jobsConverged.Load() + s.Metrics.jobsFailed.Load()
+		if counted != acceptedN.Load() {
+			t.Fatalf("round %d: %d accepted jobs but %d counted in final metrics", round, acceptedN.Load(), counted)
+		}
+		for _, j := range s.Jobs.List() {
+			if st := j.State(); st == JobQueued || st == JobRunning {
+				t.Fatalf("round %d: job %s still %s after drain", round, j.ID, st)
+			}
+		}
+	}
+}

@@ -31,6 +31,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/matrices", s.handleMatrices)
 	s.mux.HandleFunc("PUT /v1/matrices/{name}", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -259,11 +260,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Jobs.Draining() {
 		code, status = http.StatusServiceUnavailable, "draining"
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":   status,
 		"queued":   s.Jobs.QueueDepth(),
 		"inflight": s.Jobs.InFlight(),
-	})
+	}
+	if s.cfg.ShardID != "" {
+		body["shard"] = s.cfg.ShardID
+	}
+	writeJSON(w, code, body)
+}
+
+// ClusterInfo is one shard's view of cluster membership: its own identity
+// plus the registered peers. A router bootstrapping with -discover reads
+// this from any one shard to learn the full shard set.
+type ClusterInfo struct {
+	Shard string            `json:"shard,omitempty"`
+	Peers map[string]string `json:"peers,omitempty"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ClusterInfo{Shard: s.cfg.ShardID, Peers: s.cfg.Peers})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobKeyDedup: a second submission carrying the JobKey of a retained job
+// attaches to that job — same ID, same result, one solve — whether the
+// original is still running or already finished. This is the property that
+// makes cluster-level retry safe: a router that lost a shard's response can
+// resubmit without risking a double solve.
+func TestJobKeyDedup(t *testing.T) {
+	release := make(chan struct{})
+	held := make(chan struct{}, 8)
+	s := New(Config{Workers: 2, QueueDepth: 8, testHookBeforeRun: func(j *Job) {
+		if j.Req.JobKey == "held" {
+			held <- struct{}{}
+			<-release
+		}
+	}})
+	defer drainServer(t, s)
+
+	req := SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}, JobKey: "held"}
+	j1, err := s.Jobs.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-held // the solve is in a worker, parked pre-run
+
+	// Duplicate while running: attaches, does not queue a second solve.
+	j2, err := s.Jobs.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 != j1 {
+		t.Fatalf("dedup while running: got job %s, want %s", j2.ID, j1.ID)
+	}
+	close(release)
+	<-j1.Done()
+
+	// Duplicate after completion: still attaches to the retained job.
+	j3, err := s.Jobs.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3 != j1 {
+		t.Fatalf("dedup after completion: got job %s, want %s", j3.ID, j1.ID)
+	}
+	if got := s.Metrics.jobsDeduped.Load(); got != 2 {
+		t.Fatalf("jobsDeduped = %d, want 2", got)
+	}
+
+	// A different key runs its own solve with its own identity.
+	other, err := s.Jobs.Submit(SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}, JobKey: "other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == j1 {
+		t.Fatal("distinct keys must not dedup")
+	}
+	<-other.Done()
+
+	// Keyless submissions never dedup against each other.
+	a, _ := s.Jobs.Submit(SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}})
+	b, _ := s.Jobs.Submit(SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}})
+	if a == nil || b == nil || a == b {
+		t.Fatal("keyless submissions must stay distinct")
+	}
+	<-a.Done()
+	<-b.Done()
+}
+
+// TestJobKeyRetentionExpiry: keys die with their jobs. Once retention trims
+// the original job, the same key starts a fresh solve instead of resolving
+// to a forgotten ID.
+func TestJobKeyRetentionExpiry(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8, RetainJobs: 2})
+	defer drainServer(t, s)
+
+	first, err := s.Jobs.Submit(SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}, JobKey: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first.Done()
+	// Push the keyed job out of the retention window.
+	for i := 0; i < 3; i++ {
+		j, err := s.Jobs.Submit(SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.Done()
+	}
+	if got := s.Jobs.Get(first.ID); got != nil {
+		t.Fatalf("job %s should have been trimmed", first.ID)
+	}
+	again, err := s.Jobs.Submit(SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}, JobKey: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == first || again.ID == first.ID {
+		t.Fatal("expired key must start a fresh job")
+	}
+	<-again.Done()
+}
+
+// TestShardIdentityJobIDs: a shard-identified daemon prefixes its job IDs so
+// a stateless router can route lookups by ID alone.
+func TestShardIdentityJobIDs(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, ShardID: "s7"})
+	defer drainServer(t, s)
+	j, err := s.Jobs.Submit(SolveRequest{ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(j.ID, "s7-job-") {
+		t.Fatalf("job ID %q lacks shard prefix", j.ID)
+	}
+	<-j.Done()
+}
+
+// drainServer shuts a test server down within a bounded window.
+func drainServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}

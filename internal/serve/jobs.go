@@ -30,6 +30,14 @@ type SolveRequest struct {
 	// encoding/json round-trips float64 exactly, so the received iterate is
 	// bit-identical to the solver's.
 	IncludeX bool `json:"include_x,omitempty"`
+	// JobKey is a client-supplied idempotency key. Submitting a second job
+	// with the key of a retained job attaches to that job instead of running
+	// a new solve — the dedup that makes retry-after-failure safe: a cluster
+	// router (cmd/solverouter) that lost a shard's response mid-flight can
+	// resubmit without risking a double solve, and a resubmission that lands
+	// on the shard that already accepted the first attempt simply returns it.
+	// Keys are forgotten when their job leaves retention (Config.RetainJobs).
+	JobKey string `json:"job_key,omitempty"`
 }
 
 func (r SolveRequest) withDefaults() SolveRequest {
@@ -255,7 +263,8 @@ type Manager struct {
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
-	order  []string // submission order, for listing and retention
+	order  []string          // submission order, for listing and retention
+	byKey  map[string]string // idempotency JobKey → job ID, within retention
 	nextID int
 
 	inflight  sync.WaitGroup // queued + running jobs
@@ -275,6 +284,7 @@ func NewManager(cfg Config, reg *Registry, met *Metrics) *Manager {
 		met:     met,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    map[string]*Job{},
+		byKey:   map[string]string{},
 		running: make(chan struct{}, cfg.Workers),
 		quit:    make(chan struct{}),
 	}
@@ -303,9 +313,47 @@ func (m *Manager) Draining() bool {
 
 // Submit applies admission control and enqueues the job: ErrDraining during
 // shutdown, ErrQueueFull when the bounded queue has no room (the HTTP plane
-// maps these to 503 and 429 + Retry-After).
+// maps these to 503 and 429 + Retry-After). A request carrying the JobKey of
+// a retained job is deduplicated: the existing job is returned (nil error)
+// and no new solve runs.
+//
+// Admission, rejection accounting, dedup and registration are ONE critical
+// section against drain start. Two real races hid in the seams of the old
+// multi-lock version:
+//
+//   - A job could be enqueued (visible to a worker) before it was registered
+//     in m.jobs. Drain's deadline sweep cancels via List(), so a job admitted
+//     in that window was invisible to the sweep and ran to natural completion
+//     — drain overran its budget, and under a supervisor that enforces the
+//     budget with SIGKILL the final metrics flush never happened.
+//   - The rejected/drained counters were incremented after the critical
+//     section, so a rejection that raced drain start could land after the
+//     final flush and vanish from it.
+//
+// Now a submission either completes entirely before Drain observes
+// `draining`, or observes it and is rejected — in both cases with its
+// side effects (registration, counters) already visible.
 func (m *Manager) Submit(req SolveRequest) (*Job, error) {
 	req = req.withDefaults()
+
+	m.drainMu.Lock()
+	if m.draining {
+		m.met.jobsDrained.Add(1)
+		m.drainMu.Unlock()
+		return nil, ErrDraining
+	}
+	m.mu.Lock()
+	if req.JobKey != "" {
+		if id, ok := m.byKey[req.JobKey]; ok {
+			if dup := m.jobs[id]; dup != nil {
+				m.met.jobsDeduped.Add(1)
+				m.mu.Unlock()
+				m.drainMu.Unlock()
+				return dup, nil
+			}
+			delete(m.byKey, req.JobKey) // job fell out of retention
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		Req:       req,
@@ -315,44 +363,40 @@ func (m *Manager) Submit(req SolveRequest) (*Job, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	m.mu.Lock()
 	m.nextID++
-	j.ID = fmt.Sprintf("job-%d", m.nextID)
-	m.mu.Unlock()
-
-	// The draining check and the enqueue are one critical section against
-	// Drain: once Drain observes `draining` set, no submission can slip into
-	// the queue behind its inflight.Wait and be orphaned by the stopping
-	// worker pool.
-	m.drainMu.Lock()
-	if m.draining {
-		m.drainMu.Unlock()
-		cancel()
-		m.met.jobsDrained.Add(1)
-		return nil, ErrDraining
+	if m.cfg.ShardID != "" {
+		j.ID = fmt.Sprintf("%s-job-%d", m.cfg.ShardID, m.nextID)
+	} else {
+		j.ID = fmt.Sprintf("job-%d", m.nextID)
 	}
 	m.inflight.Add(1)
 	select {
 	case m.queue <- j:
 	default:
 		m.inflight.Done()
+		m.met.jobsRejected.Add(1)
+		m.mu.Unlock()
 		m.drainMu.Unlock()
 		cancel()
-		m.met.jobsRejected.Add(1)
 		return nil, ErrQueueFull
 	}
-	m.drainMu.Unlock()
-
-	m.mu.Lock()
+	// The queued event is recorded before the job becomes findable — no
+	// subscriber exists yet, so it cannot interleave after a fast worker's
+	// start/result events in anyone's stream.
+	j.emit(Event{Type: "queued", Job: j.ID, State: JobQueued})
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
+	if req.JobKey != "" {
+		m.byKey[req.JobKey] = j.ID
+	}
 	m.trimLocked()
 	m.mu.Unlock()
-	j.emit(Event{Type: "queued", Job: j.ID, State: JobQueued})
+	m.drainMu.Unlock()
 	return j, nil
 }
 
-// trimLocked drops the oldest finished jobs beyond the retention bound.
+// trimLocked drops the oldest finished jobs beyond the retention bound,
+// together with their idempotency keys.
 func (m *Manager) trimLocked() {
 	for len(m.order) > m.cfg.RetainJobs {
 		id := m.order[0]
@@ -360,6 +404,9 @@ func (m *Manager) trimLocked() {
 		if j != nil {
 			if st := j.State(); st == JobQueued || st == JobRunning {
 				return // never forget a live job
+			}
+			if k := j.Req.JobKey; k != "" && m.byKey[k] == id {
+				delete(m.byKey, k)
 			}
 			delete(m.jobs, id)
 		}

@@ -65,6 +65,7 @@ type Metrics struct {
 	jobsCanceled  atomic.Int64
 	jobsRejected  atomic.Int64 // queue-full 429s
 	jobsDrained   atomic.Int64 // 503s during drain
+	jobsDeduped   atomic.Int64 // submissions attached to a retained job by idempotency key
 
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
@@ -123,6 +124,11 @@ func (m *Metrics) countJob(state JobState) {
 // cache traffic, the latency histogram, and the kernel-counter aggregate in
 // trace's stable serialization.
 func (m *Metrics) WritePrometheus(w io.Writer, mgr *Manager, reg *Registry) {
+	if id := mgr.cfg.ShardID; id != "" {
+		fmt.Fprintf(w, "# HELP solverd_shard_info Shard identity of this daemon inside a cluster.\n")
+		fmt.Fprintf(w, "# TYPE solverd_shard_info gauge\n")
+		fmt.Fprintf(w, "solverd_shard_info{shard=%q} 1\n", id)
+	}
 	fmt.Fprintf(w, "# HELP solverd_queue_depth Jobs waiting for a worker.\n")
 	fmt.Fprintf(w, "# TYPE solverd_queue_depth gauge\n")
 	fmt.Fprintf(w, "solverd_queue_depth %d\n", mgr.QueueDepth())
@@ -141,6 +147,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, mgr *Manager, reg *Registry) {
 	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"canceled\"} %d\n", m.jobsCanceled.Load())
 	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"rejected\"} %d\n", m.jobsRejected.Load())
 	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"drained\"} %d\n", m.jobsDrained.Load())
+
+	fmt.Fprintf(w, "# HELP solverd_jobs_deduped_total Submissions attached to a retained job via their idempotency key.\n")
+	fmt.Fprintf(w, "# TYPE solverd_jobs_deduped_total counter\n")
+	fmt.Fprintf(w, "solverd_jobs_deduped_total %d\n", m.jobsDeduped.Load())
 
 	fmt.Fprintf(w, "# TYPE solverd_registry_hits_total counter\n")
 	fmt.Fprintf(w, "solverd_registry_hits_total %d\n", m.cacheHits.Load())
@@ -198,9 +208,9 @@ func (m *Metrics) Snapshot(mgr *Manager, reg *Registry) string {
 	k := m.kernels
 	m.mu.Unlock()
 	return fmt.Sprintf(
-		"jobs{converged=%d failed=%d canceled=%d rejected=%d drained=%d} cache{hits=%d misses=%d evictions=%d entries=%d} kernels{%s} recovery{%s}",
+		"jobs{converged=%d failed=%d canceled=%d rejected=%d drained=%d deduped=%d} cache{hits=%d misses=%d evictions=%d entries=%d} kernels{%s} recovery{%s}",
 		m.jobsConverged.Load(), m.jobsFailed.Load(), m.jobsCanceled.Load(),
-		m.jobsRejected.Load(), m.jobsDrained.Load(),
+		m.jobsRejected.Load(), m.jobsDrained.Load(), m.jobsDeduped.Load(),
 		m.cacheHits.Load(), m.cacheMisses.Load(), m.cacheEvictions.Load(), reg.Len(),
 		k.String(), k.RecoveryString())
 }

@@ -36,6 +36,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/par"
@@ -69,6 +70,15 @@ type Config struct {
 	// the profiling plane is opt-in (cmd/solverd's -pprof flag) so a public
 	// deployment does not expose heap and CPU profiles unasked.
 	EnablePprof bool
+	// ShardID names this daemon inside a cluster (cmd/solverd -shard). When
+	// set, job IDs are prefixed "<shard>-job-N" so a stateless router
+	// (cmd/solverouter) can route status and stream lookups to the owning
+	// shard from the ID alone, and /healthz and /metrics carry the identity.
+	ShardID string
+	// Peers maps peer shard names to their base URLs (cmd/solverd -peers).
+	// The daemon serves the set on GET /v1/cluster so a router can bootstrap
+	// cluster membership from any one shard ("discovery by registration").
+	Peers map[string]string
 
 	// testHookBeforeRun, when set by in-package tests, runs in the worker
 	// just before a job executes — a deterministic way to hold the pool busy
@@ -105,7 +115,9 @@ type Server struct {
 	Jobs     *Manager
 	Metrics  *Metrics
 	mux      *http.ServeMux
-	hs       *http.Server
+
+	hsMu sync.Mutex
+	hs   *http.Server
 }
 
 // New builds a stopped server; call Serve (or mount Handler) to run it.
@@ -128,14 +140,23 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve runs the HTTP server on l until Drain (or a listener error). It owns
-// the http.Server so Drain can shut it down.
+// the http.Server so Drain and Kill can shut it down.
 func (s *Server) Serve(l net.Listener) error {
-	s.hs = &http.Server{Handler: s.mux}
-	err := s.hs.Serve(l)
+	hs := &http.Server{Handler: s.mux}
+	s.hsMu.Lock()
+	s.hs = hs
+	s.hsMu.Unlock()
+	err := hs.Serve(l)
 	if err == http.ErrServerClosed {
 		return nil
 	}
 	return err
+}
+
+func (s *Server) httpServer() *http.Server {
+	s.hsMu.Lock()
+	defer s.hsMu.Unlock()
+	return s.hs
 }
 
 // Drain is the graceful-shutdown sequence: stop admissions (new submissions
@@ -146,15 +167,33 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) Drain(ctx context.Context) error {
 	s.Jobs.Drain(ctx)
 	var err error
-	if s.hs != nil {
+	if hs := s.httpServer(); hs != nil {
 		// Jobs are done or cancelled; give in-flight HTTP responses (event
 		// streams flushing their tail) a short bounded window.
 		hctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		err = s.hs.Shutdown(hctx)
+		err = hs.Shutdown(hctx)
 	}
 	s.flushFinalMetrics()
 	return err
+}
+
+// Kill is the SIGKILL-equivalent teardown, for inter-daemon chaos tests: the
+// HTTP server closes abruptly (in-flight requests see their connections
+// reset, exactly what a killed process's peers observe), every queued and
+// running job is cancelled without grace, and the workers stop. Unlike a real
+// SIGKILL it still unwinds goroutines — the harness can assert zero leaks
+// after the "crash" — but no client-visible nicety survives: no 503s, no
+// drain window, no final event flush over HTTP.
+func (s *Server) Kill() {
+	if hs := s.httpServer(); hs != nil {
+		hs.Close()
+	}
+	// Drain with an already-expired context takes the hard path immediately:
+	// cancel everything live, wait only for the unwind, stop the workers.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Jobs.Drain(ctx)
 }
 
 // flushFinalMetrics logs the end-of-life counter snapshot — the drain
