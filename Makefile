@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke cluster-chaos audit timeline tier1
+.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke cluster-chaos audit timeline batch-smoke tier1
 
 all: tier1
 
@@ -19,7 +19,7 @@ test:
 # parallel, and the kernel packages saturate the worker pool — co-scheduling
 # them with the timing-sensitive serve drain smoke makes its deadline flaky.
 race:
-	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/... ./internal/cluster/... ./internal/audit/... ./internal/obs/...
+	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/serve/... ./internal/cluster/... ./internal/audit/... ./internal/obs/... ./internal/blockcg/...
 	$(GO) test -race ./internal/sparse/... ./internal/grid/... ./internal/vec/...
 
 vet:
@@ -60,11 +60,20 @@ timeline:
 	$(GO) run ./cmd/timeline -o /tmp/repro-timeline.json
 	$(GO) run ./cmd/timeline -check /tmp/repro-timeline.json
 
+# Multi-RHS coalescing smoke: a real daemon with batching on, a burst of
+# seeded jobs behind a queue plug so the coalescer sees a full backlog,
+# per-job x_hash bit-identical to the unbatched baseline, batch-width
+# metrics visible, graceful drain, goroutine-leak assertion — all under
+# the race detector.
+batch-smoke:
+	$(GO) test -race -run TestBatchSmoke -v -count=1 ./internal/serve
+
 # tier1 is the gate every change must pass: build, vet, full tests, the
 # race detector over the concurrent packages, the chaos suite, the
-# solver-service smoke, the inter-daemon cluster chaos run, the differential
-# audit sweep, the timeline export smoke, and the hot-path kernel perf smoke.
-tier1: build vet test race chaos serve-smoke cluster-chaos audit timeline perf
+# solver-service smoke, the multi-RHS coalescing smoke, the inter-daemon
+# cluster chaos run, the differential audit sweep, the timeline export
+# smoke, and the hot-path kernel perf smoke.
+tier1: build vet test race chaos serve-smoke batch-smoke cluster-chaos audit timeline perf
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -7,9 +7,15 @@
 // the obs phase aggregates of full PIPE-PsCG solves, so the kernel wins are
 // tied to the spans the runtime actually reports.
 //
+// With -block the command instead measures the multi-RHS block subsystem
+// (internal/blockcg): per-RHS block-SPMV cost and per-RHS gang-solve
+// throughput at widths 1..16 against the width-1 baseline (BENCH_pr8.json
+// in the repo root is the committed snapshot).
+//
 // Usage:
 //
 //	go run ./cmd/perfreport -o BENCH_pr6.json
+//	go run ./cmd/perfreport -block -o BENCH_pr8.json
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/blockcg"
 	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/obs"
@@ -263,11 +270,159 @@ func solvePhases(pr bench.Problem, op engine.Operator, backend string, s int) (S
 	}, nil
 }
 
+// BlockSpMVRow is one width point of the block-SPMV comparison: k separate
+// CSR sweeps versus one MulMat over the same columns (identical total work,
+// so speedup IS the per-RHS speedup).
+type BlockSpMVRow struct {
+	K        int     `json:"k"`
+	PerColNs float64 `json:"per_column_ns_op"` // k scalar MulVec sweeps
+	BlockNs  float64 `json:"block_ns_op"`      // one MulMat over k columns
+	Speedup  float64 `json:"per_rhs_speedup"`
+}
+
+// BlockSolveRow is one width point of the gang-solve throughput curve.
+type BlockSolveRow struct {
+	K             int     `json:"k"`
+	GangNs        float64 `json:"gang_ns_op"` // one width-k gang solve
+	PerRHSNs      float64 `json:"per_rhs_ns"`
+	PerRHSSpeedup float64 `json:"per_rhs_speedup_vs_k1"`
+	RHSPerSec     float64 `json:"rhs_per_sec"`
+	Iterations    int     `json:"iterations"` // column-0 iteration count
+}
+
+// BlockReport is the -block mode output (BENCH_pr8.json).
+type BlockReport struct {
+	GoMaxProcs int             `json:"go_max_procs"`
+	Problem    string          `json:"problem"`
+	N          int             `json:"n"`
+	NNZ        int             `json:"nnz"`
+	Method     string          `json:"method"`
+	PC         string          `json:"pc"`
+	SpMV       []BlockSpMVRow  `json:"block_spmv"`
+	Solves     []BlockSolveRow `json:"block_solve"`
+}
+
+// blockRHS builds k right-hand sides: the problem's canonical b plus seeded
+// Gaussian columns.
+func blockRHS(pr bench.Problem, k int) [][]float64 {
+	bs := make([][]float64, k)
+	bs[0] = pr.B
+	for j := 1; j < k; j++ {
+		bs[j] = randVec(len(pr.B), int64(100+j))
+	}
+	return bs
+}
+
+// blockReport measures the block subsystem on the paper's grid workload:
+// the raw SPMV amortization, then full gang solves (PCG + Jacobi) whose
+// per-RHS time must fall as the width grows.
+func blockReport() *BlockReport {
+	const dim = 48
+	pr := bench.Poisson125(dim)
+	rep := &BlockReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Problem:    pr.Name, N: pr.A.Rows, NNZ: pr.A.NNZ(),
+		Method: "pcg", PC: "jacobi",
+	}
+	solver, err := bench.Solver("pcg")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	widths := []int{1, 4, 8, 16}
+	for _, k := range widths {
+		xs := blockRHS(pr, k)
+		ys := make([][]float64, k)
+		for j := range ys {
+			ys[j] = make([]float64, pr.A.Rows)
+		}
+		percol := measure(func() {
+			for j := 0; j < k; j++ {
+				pr.A.MulVec(ys[j], xs[j])
+			}
+		})
+		block := measure(func() { pr.A.MulMat(ys, xs) })
+		row := BlockSpMVRow{K: k,
+			PerColNs: float64(percol.NsPerOp()), BlockNs: float64(block.NsPerOp())}
+		if row.BlockNs > 0 {
+			row.Speedup = row.PerColNs / row.BlockNs
+		}
+		rep.SpMV = append(rep.SpMV, row)
+	}
+
+	var baseline float64
+	for _, k := range widths {
+		bs := blockRHS(pr, k)
+		var iters int
+		r := measure(func() {
+			pc, err := bench.MakePC("jacobi", pr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			e := engine.NewSeq(pr.Operator(), pc)
+			cols := make([]blockcg.Column, k)
+			for j := range cols {
+				cols[j] = blockcg.Column{B: bs[j], Opt: bench.DefaultOptions(pr)}
+			}
+			out := blockcg.Solve(e, solver, cols)
+			for j := range out {
+				if out[j].Err != nil || out[j].Res == nil || !out[j].Res.Converged {
+					log.Fatalf("block solve k=%d column %d did not converge: %v", k, j, out[j].Err)
+				}
+			}
+			iters = out[0].Res.Iterations
+		})
+		row := BlockSolveRow{K: k,
+			GangNs:     float64(r.NsPerOp()),
+			PerRHSNs:   float64(r.NsPerOp()) / float64(k),
+			Iterations: iters,
+		}
+		if row.PerRHSNs > 0 {
+			row.RHSPerSec = 1e9 / row.PerRHSNs
+		}
+		if k == 1 {
+			baseline = row.PerRHSNs
+		}
+		if baseline > 0 {
+			row.PerRHSSpeedup = baseline / row.PerRHSNs
+		}
+		rep.Solves = append(rep.Solves, row)
+	}
+	return rep
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("perfreport: ")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	block := flag.Bool("block", false, "measure the multi-RHS block subsystem instead (BENCH_pr8.json)")
 	flag.Parse()
+
+	if *block {
+		rep := blockReport()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rep.SpMV {
+			fmt.Printf("block spmv k=%-2d: %12.0f → %12.0f ns/op  (%.2fx per RHS)\n",
+				r.K, r.PerColNs, r.BlockNs, r.Speedup)
+		}
+		for _, r := range rep.Solves {
+			fmt.Printf("gang solve k=%-2d: %8.1f ms/RHS, %5.2f RHS/s (%.2fx vs k=1, %d iters)\n",
+				r.K, r.PerRHSNs/1e6, r.RHSPerSec, r.PerRHSSpeedup, r.Iterations)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	rep := &Report{GoMaxProcs: runtime.GOMAXPROCS(0)}
 	stencilKernels(rep)

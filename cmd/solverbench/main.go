@@ -16,6 +16,13 @@
 // and the run asserts ZERO lost jobs — against a healthy cluster every
 // submission must converge, even if a shard dies mid-run.
 //
+// With -rhs k the bench instead exercises the multi-RHS coalescing path:
+// k jobs differing only in rhs_seed are solved one at a time (the solo
+// baseline), then re-submitted as one concurrent burst the server may
+// coalesce into a block solve. Every burst x_hash must match its solo
+// twin bit for bit; the report shows the batch widths achieved and the
+// jobs/sec of both phases. Exit is nonzero on any hash mismatch.
+//
 // Example (against a local solverd):
 //
 //	solverbench -addr 127.0.0.1:8080 -clients 32 -jobs 4 \
@@ -72,6 +79,8 @@ func main() {
 		retryCap  = flag.Duration("retry-cap", 2*time.Second, "upper bound on any single retry sleep")
 		cluster   = flag.Bool("cluster", false,
 			"cluster mode: idempotency-keyed jobs, transport-error resubmission, zero-lost-jobs assertion")
+		rhs = flag.Int("rhs", 0,
+			"multi-RHS burst mode: k seeded jobs solo then as one burst, asserting bit-identical x_hash")
 	)
 	flag.Parse()
 
@@ -84,6 +93,15 @@ func main() {
 		retries:  *retries,
 		retryCap: *retryCap,
 		cluster:  *cluster,
+	}
+
+	if *rhs > 1 {
+		req := specs[0]
+		req.Method, req.PC, req.TimeoutMS = *method, *pc, *timeoutMS
+		if err := rhsBurst(cfg, req, *rhs); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	nonce := time.Now().UnixNano()
@@ -141,6 +159,93 @@ func main() {
 			total.converged+total.canceled, submitted)
 		os.Exit(1)
 	}
+}
+
+// rhsBurst checks the multi-RHS coalescing path end to end against a live
+// server: k jobs that differ only in their RHS seed are first solved one at
+// a time (the unbatched baseline), then re-submitted as one concurrent
+// burst that the server may coalesce into a block solve. The block solve's
+// determinism contract means every burst x_hash must equal its solo twin
+// bit for bit regardless of the batch widths actually achieved.
+func rhsBurst(cfg benchConfig, req serve.SolveRequest, k int) error {
+	solve := func(seed uint64) (serve.JobStatus, error) {
+		r := req
+		r.RHSSeed = seed
+		body, _ := json.Marshal(r)
+		resp, err := http.Post(cfg.url+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return serve.JobStatus{}, fmt.Errorf("seed %d: %v", seed, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return serve.JobStatus{}, fmt.Errorf("seed %d: HTTP %d", seed, resp.StatusCode)
+		}
+		var st serve.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return serve.JobStatus{}, fmt.Errorf("seed %d: decode: %v", seed, err)
+		}
+		if st.State != serve.JobConverged {
+			return serve.JobStatus{}, fmt.Errorf("seed %d: state %s (%s)", seed, st.State, st.Error)
+		}
+		if st.XHash == "" {
+			return serve.JobStatus{}, fmt.Errorf("seed %d: no x_hash in response", seed)
+		}
+		return st, nil
+	}
+
+	want := make([]string, k)
+	t0 := time.Now()
+	for j := 0; j < k; j++ {
+		st, err := solve(uint64(j + 1))
+		if err != nil {
+			return fmt.Errorf("solo baseline: %v", err)
+		}
+		want[j] = st.XHash
+	}
+	solo := time.Since(t0)
+
+	sts := make([]serve.JobStatus, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	t1 := time.Now()
+	for j := 0; j < k; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sts[j], errs[j] = solve(uint64(j + 1))
+		}(j)
+	}
+	wg.Wait()
+	burst := time.Since(t1)
+
+	maxW, sumW, mismatches := 0, 0, 0
+	for j := 0; j < k; j++ {
+		if errs[j] != nil {
+			return fmt.Errorf("burst: %v", errs[j])
+		}
+		w := sts[j].BatchWidth
+		if w == 0 {
+			w = 1
+		}
+		sumW += w
+		if w > maxW {
+			maxW = w
+		}
+		if sts[j].XHash != want[j] {
+			mismatches++
+			log.Printf("seed %d: burst x_hash %s != solo %s", j+1, sts[j].XHash, want[j])
+		}
+	}
+	fmt.Printf("rhs burst k=%d on %s: solo %s (%.2f jobs/s), burst %s (%.2f jobs/s)\n",
+		k, req.ProblemSpec.Key(),
+		solo.Round(time.Millisecond), float64(k)/solo.Seconds(),
+		burst.Round(time.Millisecond), float64(k)/burst.Seconds())
+	fmt.Printf("  batch width max %d avg %.1f; %d/%d x_hash match the unbatched baseline\n",
+		maxW, float64(sumW)/float64(k), k-mismatches, k)
+	if mismatches > 0 {
+		return fmt.Errorf("%d of %d burst hashes differ from the unbatched baseline", mismatches, k)
+	}
+	return nil
 }
 
 // retrySleep picks the backpressure pause for the given retry ordinal: the

@@ -1,7 +1,10 @@
 // Command solverd is the solver daemon: it serves the internal/serve HTTP
 // API — named operators kept resident in an LRU registry, jobs under
 // admission control, per-job NDJSON progress streams, and a Prometheus
-// /metrics plane — until SIGTERM/SIGINT triggers a graceful drain.
+// /metrics plane — until SIGTERM/SIGINT triggers a graceful drain. With
+// -batch-width > 1 queued jobs for the same linear system are coalesced
+// into one multi-RHS block solve (internal/blockcg), bit-identical per job
+// to the unbatched path.
 //
 // Examples:
 //
@@ -46,6 +49,10 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		shard      = flag.String("shard", "", "shard identity inside a cluster (prefixes job IDs, labels /metrics)")
 		peers      = flag.String("peers", "", "peer shards as name=http://host:port,... (served on GET /v1/cluster for router discovery)")
+		batchWidth = flag.Int("batch-width", 1,
+			"coalesce up to this many queued same-system jobs into one block solve (1 = off; bit-identical per job)")
+		batchWindow = flag.Duration("batch-window", 0,
+			"how long a worker holding a coalescible job waits for more before solving (0 = no wait)")
 	)
 	flag.Parse()
 
@@ -54,14 +61,16 @@ func main() {
 		log.Fatal(err)
 	}
 	s := serve.New(serve.Config{
-		QueueDepth:    *queue,
-		Workers:       *workers,
-		CacheEntries:  *cache,
-		MaxJobRuntime: *maxRuntime,
-		Log:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
-		EnablePprof:   *pprofOn,
-		ShardID:       *shard,
-		Peers:         peerMap,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		MaxJobRuntime:  *maxRuntime,
+		Log:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		EnablePprof:    *pprofOn,
+		ShardID:        *shard,
+		Peers:          peerMap,
+		CoalesceWidth:  *batchWidth,
+		CoalesceWindow: *batchWindow,
 	})
 	if *load != "" {
 		for _, path := range strings.Split(*load, ",") {

@@ -122,6 +122,15 @@ func AuditConfig(cfg Config, specs []EngineSpec, p AuditParams) ([]Violation, in
 	}
 	vs = append(vs, CompareRuns(cfg, runs, p)...)
 
+	// Block axis: configs with K > 1 additionally audit the multi-RHS gang
+	// (every column bit-compared to its own solo solve on the sequential
+	// reference).
+	if cfg.K > 1 {
+		bvs, bruns := AuditBlock(cfg, p)
+		vs = append(vs, bvs...)
+		nRuns += bruns
+	}
+
 	// Cross-P closure: the gathered iterate of every multi-rank run must
 	// satisfy the solved system — the same operator-axis transform Execute
 	// applied (an rcm config's iterate solves the reordered system, so the

@@ -24,7 +24,13 @@ type Config struct {
 	// the sweep covers the raw-speed paths — matrix-free SPMV, fused dots
 	// over the operator's chunk plan, reordered systems — under the same
 	// differential policies as the assembled default.
-	Op   string
+	Op string
+	// K is the multi-RHS width: K>1 additionally audits the block subsystem
+	// (internal/blockcg) by running K right-hand sides as one gang solve and
+	// holding every column to bit-identity against its own solo solve — the
+	// block determinism contract under the same differential policy as the
+	// engine matrix.
+	K    int
 	Seed uint64 // generator draw that produced this config (provenance)
 }
 
@@ -48,12 +54,16 @@ func (c Config) String() string {
 	if synthProblems[c.Problem] {
 		dim = "scale"
 	}
+	k := ""
+	if c.K > 1 {
+		k = fmt.Sprintf(";k=%d", c.K)
+	}
 	op := ""
 	if c.Op != "" {
 		op = ";op=" + c.Op
 	}
-	return fmt.Sprintf("problem=%s;%s=%d;method=%s;pc=%s;s=%d%s;seed=0x%x",
-		c.Problem, dim, c.N, c.Method, c.PC, c.S, op, c.Seed)
+	return fmt.Sprintf("problem=%s;%s=%d;method=%s;pc=%s;s=%d%s%s;seed=0x%x",
+		c.Problem, dim, c.N, c.Method, c.PC, c.S, k, op, c.Seed)
 }
 
 // ParseConfig parses the String form back into a Config.
@@ -95,6 +105,12 @@ func ParseConfig(s string) (Config, error) {
 				return c, fmt.Errorf("audit: bad s=%q: %v", v, err)
 			}
 			c.S = n
+		case "k":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return c, fmt.Errorf("audit: bad k=%q: %v", v, err)
+			}
+			c.K = n
 		case "seed":
 			sd, err := strconv.ParseUint(strings.TrimPrefix(v, "0x"), 16, 64)
 			if err != nil {
@@ -114,6 +130,9 @@ func ParseConfig(s string) (Config, error) {
 	if c.S < 1 {
 		c.S = 1
 	}
+	// K stays 0 when absent: the zero value means "no block axis", and K<=1
+	// configs stringify without a k field, so the zero value is the
+	// canonical single-RHS form and String/ParseConfig round-trip exactly.
 	return c, nil
 }
 
@@ -203,6 +222,13 @@ func configFromDraw(draw uint64) Config {
 		}
 	case 7:
 		c.Op = "rcm"
+	}
+	draw >>= 8
+	// Multi-RHS axis: roughly a quarter of the sweep additionally audits the
+	// block subsystem at widths 2..4 (every column bit-compared to its solo
+	// solve); the rest stays single-RHS (K zero — the canonical form).
+	if draw%4 == 3 {
+		c.K = 2 + int((draw>>8)%3)
 	}
 	return c
 }

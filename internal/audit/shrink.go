@@ -13,6 +13,27 @@ func Shrink(cfg Config, fails func(Config) bool) Config {
 	for pass := 0; pass < 8; pass++ {
 		reduced := false
 
+		// Smaller multi-RHS width first: a width-k gang failure that
+		// persists without the block axis is not a block-subsystem bug at
+		// all, and a narrower gang re-runs k fewer solo baselines per
+		// attempt — the cheapest axis to shrink and the biggest run-cost
+		// lever. K=0 (drop the axis entirely) is tried before the
+		// intermediate widths.
+		if cfg.K > 1 {
+			for k := 0; k < cfg.K; k++ {
+				if k == 1 {
+					continue // K<=1 canonicalizes to 0
+				}
+				c := cfg
+				c.K = k
+				if fails(c) {
+					cfg = c
+					reduced = true
+					break
+				}
+			}
+		}
+
 		// Smaller problem instance (for synth problems a LARGER scale is
 		// the smaller matrix; dimCandidates orders accordingly).
 		for _, dim := range dimCandidates(cfg.Problem, cfg.N) {

@@ -45,6 +45,9 @@ type Engine struct {
 	// matrix powers kernel state (EnablePowersKernel / SpMVPowers)
 	powers        *partition.PowersPlan
 	powersScratch [2][]float64
+
+	// block (multi-RHS) SPMV scratch — see block.go.
+	block blockState
 }
 
 // PCFactory builds a rank-local preconditioner for rows [lo, hi) of a.

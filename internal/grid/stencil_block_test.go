@@ -1,0 +1,74 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestStencilMulMatBitIdentical checks the block determinism contract for
+// both stencil shapes: MulMat matches per-column MulVec to the bit at every
+// batch width and worker count, full range and row range.
+func TestStencilMulMatBitIdentical(t *testing.T) {
+	prev := par.Workers()
+	defer par.SetWorkers(prev)
+
+	ops := map[string]*StencilOp{}
+	if op, ok := NewCube(17, Star7).MatrixFree(); ok {
+		ops["star7"] = op
+	}
+	if op, ok := NewSquare(41, Star5).MatrixFree(); ok {
+		ops["star5"] = op
+	}
+	if len(ops) != 2 {
+		t.Fatal("expected matrix-free operators for both stencil shapes")
+	}
+	for name, op := range ops {
+		n, _ := op.Dims()
+		rng := rand.New(rand.NewSource(7))
+		for _, k := range []int{1, 3, 8} {
+			xs := make([][]float64, k)
+			want := make([][]float64, k)
+			for j := range xs {
+				xs[j] = make([]float64, n)
+				for i := range xs[j] {
+					xs[j][i] = rng.NormFloat64()
+				}
+				want[j] = make([]float64, n)
+				op.MulVec(want[j], xs[j])
+			}
+			for _, w := range []int{1, par.Workers()} {
+				par.SetWorkers(w)
+				ys := make([][]float64, k)
+				for j := range ys {
+					ys[j] = make([]float64, n)
+				}
+				op.MulMat(ys, xs)
+				for j := range ys {
+					for i := range ys[j] {
+						if ys[j][i] != want[j][i] {
+							t.Fatalf("%s k=%d workers=%d: col %d row %d: block %v != solo %v",
+								name, k, w, j, i, ys[j][i], want[j][i])
+						}
+					}
+				}
+			}
+			par.SetWorkers(prev)
+
+			lo, hi := n/4, 3*n/4
+			ys := make([][]float64, k)
+			for j := range ys {
+				ys[j] = make([]float64, hi-lo)
+			}
+			op.MulMatRangeInto(ys, xs, lo, hi)
+			for j := range ys {
+				for i := range ys[j] {
+					if ys[j][i] != want[j][lo+i] {
+						t.Fatalf("%s k=%d: range col %d row %d mismatch", name, k, j, lo+i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -21,6 +21,16 @@
 //
 // Solvers are SPMD: b and the returned solution are rank-local slices; run
 // the same call on every rank of a comm fabric, or once on a seq/sim engine.
+//
+// Solvers are also pure with respect to the engine seam: every kernel,
+// every piece of cross-rank communication, and every globally visible side
+// effect flows through the Engine interface (plus its optional capability
+// interfaces) — no package-level state, no out-of-band channels. Two
+// consumers depend on this contract: the audit harness, which swaps
+// backends under a solver and compares bits; and internal/blockcg, which
+// interposes a multiplexing engine view to run k right-hand sides in
+// lockstep against one shared engine. Changes that route data around the
+// Engine interface break both.
 package krylov
 
 import (

@@ -50,6 +50,20 @@ const (
 	PhaseHaloWait                    // neighbor-exchange pack/send/recv of the SPMV
 	PhaseRecovery                    // recovery bookkeeping (restarts, replacements)
 
+	// NumCorePhases bounds the original single-RHS phase set. Every engine
+	// backend emits all of these on every rank during a normal solve, so
+	// timeline validators may require them; the block phases below appear
+	// only when a multi-RHS gang is driving the engine.
+	NumCorePhases
+)
+
+// Block (multi-RHS) phases — emitted by the blockcg gang and the engines'
+// SpMVBlock kernels. Appended after NumCorePhases so the core set stays
+// frozen; validators that predate them must not demand them on every rank.
+const (
+	PhaseBlockSpMV Phase = NumCorePhases + iota // batched SPMV: one operator read shared by k columns
+	PhaseBlockGram                              // batched reduction pack/scatter of k columns' payloads
+
 	// NumPhases bounds the enum; it is NOT a phase.
 	NumPhases
 )
@@ -57,6 +71,7 @@ const (
 var phaseNames = [NumPhases]string{
 	"spmv", "pc_apply", "local_dots", "gram", "recurrence_lc",
 	"allreduce_wait", "iallreduce_post", "halo_wait", "recovery",
+	"block_spmv", "block_gram",
 }
 
 // String returns the frozen snake_case name.
@@ -74,6 +89,14 @@ func Phases() []Phase {
 		out[i] = Phase(i)
 	}
 	return out
+}
+
+// CorePhases returns the phases every backend emits on every rank of every
+// solve — the set completeness validators (cmd/timeline) may require.
+// Block phases (PhaseBlockSpMV, PhaseBlockGram) are excluded: they appear
+// only when a multi-RHS gang runs on the engine.
+func CorePhases() []Phase {
+	return Phases()[:NumCorePhases]
 }
 
 // waiting reports whether a phase represents stalled (non-compute) time.

@@ -39,10 +39,14 @@ func TestPhaseNamesFrozen(t *testing.T) {
 	want := []string{
 		"spmv", "pc_apply", "local_dots", "gram", "recurrence_lc",
 		"allreduce_wait", "iallreduce_post", "halo_wait", "recovery",
+		"block_spmv", "block_gram",
 	}
 	ps := Phases()
 	if len(ps) != len(want) {
 		t.Fatalf("NumPhases = %d, want %d", len(ps), len(want))
+	}
+	if int(NumCorePhases) != 9 {
+		t.Fatalf("NumCorePhases = %d, want 9 (core set is frozen)", NumCorePhases)
 	}
 	for i, p := range ps {
 		if p.String() != want[i] {

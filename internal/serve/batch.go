@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/blockcg"
+	"repro/internal/engine"
+	"repro/internal/krylov"
+	"repro/internal/obs"
+)
+
+// runBatch executes a coalesced batch of jobs as ONE block solve: the gang
+// (internal/blockcg) runs every job's right-hand side against a single
+// sequential engine, sharing each SPMV and reduction across the batch while
+// every job keeps its own convergence trajectory, deadline, progress stream
+// and counter ledger. The determinism contract makes the batching invisible
+// to clients: each job's iterate, history and counters are bit-identical to
+// what its solo solve would have produced (asserted end to end by
+// TestBatchSmoke and solverbench -rhs).
+//
+// Per-job concerns stay per job: deadlines are enforced by the same
+// cancelEngine wrapper the solo path uses (installed through the gang's
+// per-column Wrap hook), and a column whose deadline fires simply deflates
+// out of the batch — the survivors' batches shrink, their numerics do not
+// change.
+func (m *Manager) runBatch(batch []*Job) {
+	for _, j := range batch {
+		defer func(j *Job) { m.met.ObserveLatency(time.Since(j.submitted).Seconds()) }(j)
+	}
+
+	// Per-job deadlines, anchored at each job's own submission time — queue
+	// wait counts against the budget exactly as on the solo path.
+	ctxs := make([]context.Context, len(batch))
+	for i, j := range batch {
+		timeout := m.cfg.MaxJobRuntime
+		if j.Req.TimeoutMS > 0 {
+			timeout = time.Duration(j.Req.TimeoutMS) * time.Millisecond
+		}
+		ctx, cancel := context.WithDeadline(j.ctx, j.submitted.Add(timeout))
+		defer cancel()
+		ctxs[i] = ctx
+	}
+
+	// Jobs cancelled while queued never touch the registry; the rest form
+	// the gang. A batch reduced to one member takes the solo path.
+	var jobs []*Job
+	var jctx []context.Context
+	for i, j := range batch {
+		if ctxs[i].Err() != nil {
+			m.finishJob(j, JobCanceled, nil, ctxs[i].Err())
+			continue
+		}
+		jobs = append(jobs, j)
+		jctx = append(jctx, ctxs[i])
+	}
+	switch len(jobs) {
+	case 0:
+		return
+	case 1:
+		m.run(jobs[0])
+		return
+	}
+	width := len(jobs)
+	m.met.noteBatch(width)
+
+	for _, j := range jobs {
+		j.mu.Lock()
+		j.state = JobRunning
+		j.batchWidth = width
+		j.mu.Unlock()
+		j.emit(Event{Type: "start", Job: j.ID, State: JobRunning,
+			Method: j.Req.Method, BatchWidth: width})
+	}
+	fail := func(err error) {
+		for _, j := range jobs {
+			m.finishJob(j, JobFailed, nil, err)
+		}
+	}
+
+	// One operator pin and one preconditioner checkout serve the whole
+	// batch — the gang serializes base-engine calls, so a single PC
+	// instance is applied to one column's buffers at a time.
+	req := jobs[0].Req // identical coalesce key across the batch
+	entry, err := m.reg.Acquire(req.ProblemSpec)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer m.reg.Release(entry)
+	pr := entry.Problem()
+
+	solver, err := solverFor(req.Method)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	var pc engine.Preconditioner
+	if !bench.Unpreconditioned(req.Method) {
+		pc, err = entry.AcquirePC(req.PC)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer entry.ReleasePC(req.PC, pc)
+	}
+
+	eng := engine.NewSeq(pr.Operator(), pc)
+	eng.Tr = obs.New(0, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
+
+	cols := make([]blockcg.Column, width)
+	for i, j := range jobs {
+		i, j, ctx := i, j, jctx[i]
+		opt := bench.DefaultOptions(pr)
+		opt.S = req.S
+		opt.MaxIter = req.MaxIter
+		if req.RelTol > 0 {
+			opt.RelTol = req.RelTol
+		}
+		// colEng is this column's engine view; the progress hook runs on the
+		// column's own goroutine, so reading its per-column ledger is safe.
+		var colEng engine.Engine
+		opt.Progress = func(hp krylov.HistPoint) {
+			ev := Event{Type: "progress", Job: j.ID,
+				Iteration: hp.Iteration, ReduceIndex: hp.ReduceIndex}
+			ev.RelRes, ev.Diverged = saneRel(hp.RelRes)
+			if colEng != nil {
+				ev.Recoveries = colEng.Counters().RecoveryEvents()
+			}
+			j.emit(ev)
+		}
+		cols[i] = blockcg.Column{
+			B:   rhsFor(pr, j.Req.RHSSeed),
+			Opt: opt,
+			Wrap: func(e engine.Engine) engine.Engine {
+				colEng = e
+				return &cancelEngine{Engine: e, ctx: ctx}
+			},
+			Recover: func(p any) error {
+				if cp, ok := p.(cancelPanic); ok {
+					return cp.err
+				}
+				return nil // not ours: re-panics after the gang settles
+			},
+		}
+	}
+
+	out := blockcg.Solve(eng, solver, cols)
+
+	sum := eng.Tr.Summary()
+	m.met.AddObs(sum)
+	for i, j := range jobs {
+		res := out[i].Res
+		unpermuteResult(res, pr.Perm)
+		j.mu.Lock()
+		j.counters = out[i].Counters
+		j.obsSum = sum
+		j.mu.Unlock()
+		m.met.AddCounters(&out[i].Counters)
+		m.classify(j, jctx[i], res, out[i].Err)
+	}
+}

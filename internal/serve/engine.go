@@ -117,6 +117,30 @@ func XHash(x []float64) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// rhsFor resolves a job's right-hand side: the problem's canonical b, or —
+// when the request carries a non-zero RHSSeed — a deterministic synthetic
+// vector from a splitmix64 stream, uniform in [-1,1), in the operator's row
+// ordering. The function is the ONLY producer of seeded RHS vectors, so a
+// seed names the same system on the solo path, the comm path, and inside a
+// coalesced block solve — the hook solverbench's -rhs mode uses to compare
+// batched iterates bitwise against unbatched baselines.
+func rhsFor(pr bench.Problem, seed uint64) []float64 {
+	if seed == 0 {
+		return pr.B
+	}
+	b := make([]float64, len(pr.B))
+	s := seed
+	for i := range b {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		b[i] = float64(z>>11)/(1<<52) - 1
+	}
+	return b
+}
+
 // solverFor resolves a method name, adding the resilience ladder to the
 // standard registry under "ladder".
 func solverFor(name string) (krylov.Solver, error) {
@@ -150,7 +174,9 @@ func (m *Manager) run(j *Job) {
 
 	j.mu.Lock()
 	j.state = JobRunning
+	j.batchWidth = 1
 	j.mu.Unlock()
+	m.met.noteBatch(1)
 	j.emit(Event{Type: "start", Job: j.ID, State: JobRunning, Method: j.Req.Method})
 
 	entry, err := m.reg.Acquire(j.Req.ProblemSpec)
@@ -217,7 +243,7 @@ func (m *Manager) runSeq(j *Job, ctx context.Context, entry *Entry, pr bench.Pro
 	*progressEng = eng
 	wrapped := &cancelEngine{Engine: eng, ctx: ctx}
 
-	res, err := m.solveRecovering(wrapped, pr.B, solver, opt)
+	res, err := m.solveRecovering(wrapped, rhsFor(pr, j.Req.RHSSeed), solver, opt)
 	unpermuteResult(res, pr.Perm)
 	sum := eng.Tr.Summary()
 	j.mu.Lock()
@@ -263,7 +289,7 @@ func (m *Manager) runComm(j *Job, ctx context.Context, entry *Entry, pr bench.Pr
 		tracers[r] = obs.New(r, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
 		e.SetTracer(tracers[r])
 	}
-	bs := comm.Scatter(pt, pr.B)
+	bs := comm.Scatter(pt, rhsFor(pr, j.Req.RHSSeed))
 	opt.WaitDeadline = 10 * time.Second
 	*progressEng = engines[0]
 
@@ -403,6 +429,9 @@ func (m *Manager) finishJob(j *Job, state JobState, res *krylov.Result, err erro
 	j.mu.Lock()
 	j.res, j.err = res, err
 	overlap := j.obsSum.Overlap
+	if j.batchWidth > 1 {
+		ev.BatchWidth = j.batchWidth
+	}
 	j.mu.Unlock()
 	if overlap.Posted > 0 {
 		ev.OverlapEfficiency = overlap.HiddenFraction()

@@ -134,13 +134,20 @@ type JobStatus struct {
 	RelRes   float64 `json:"relres,omitempty"`
 	Diverged bool    `json:"diverged,omitempty"`
 	Error    string  `json:"error,omitempty"`
-	XHash      string       `json:"x_hash,omitempty"`
-	X          []float64    `json:"x,omitempty"`
-	Counters   any          `json:"counters,omitempty"`
+	XHash    string  `json:"x_hash,omitempty"`
+	X        []float64 `json:"x,omitempty"`
+	Counters any       `json:"counters,omitempty"`
+	// BatchWidth is how many jobs the solve was coalesced with (itself
+	// included) when the manager ran it as a block solve; omitted for solo
+	// solves and jobs still queued.
+	BatchWidth int `json:"batch_width,omitempty"`
 }
 
 func (s *Server) jobStatus(j *Job, includeCounters bool) JobStatus {
 	st := JobStatus{ID: j.ID, State: j.State(), Request: j.Req}
+	if w := j.BatchWidth(); w > 1 {
+		st.BatchWidth = w
+	}
 	res, err := j.Result()
 	if res != nil {
 		st.Method = res.Method

@@ -38,6 +38,13 @@ type SolveRequest struct {
 	// on the shard that already accepted the first attempt simply returns it.
 	// Keys are forgotten when their job leaves retention (Config.RetainJobs).
 	JobKey string `json:"job_key,omitempty"`
+	// RHSSeed, when non-zero, replaces the problem's canonical right-hand
+	// side with a deterministic synthetic one drawn from a splitmix64 stream
+	// seeded here (uniform in [-1,1), in the operator's row ordering). Two
+	// jobs with the same seed solve the same system — on any daemon, batched
+	// or solo — so clients can issue many distinct solves against one
+	// operator and still compare iterates bitwise across paths.
+	RHSSeed uint64 `json:"rhs_seed,omitempty"`
 }
 
 func (r SolveRequest) withDefaults() SolveRequest {
@@ -108,6 +115,10 @@ type Event struct {
 	// non-blocking reduction; a purely blocking method reports nothing to
 	// hide and the field is omitted.
 	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"`
+	// BatchWidth is the number of jobs this job's solve was coalesced with
+	// (itself included) when the manager ran it as part of a block solve.
+	// Present on start and result events; 1 (omitted) for a solo solve.
+	BatchWidth int `json:"batch_width,omitempty"`
 }
 
 // maxRetainedEvents bounds the per-job event ring replayed to late
@@ -119,15 +130,16 @@ type Job struct {
 	ID  string       `json:"id"`
 	Req SolveRequest `json:"request"`
 
-	mu       sync.Mutex
-	state    JobState
-	events   []Event // ring of the most recent events
-	dropped  int     // ring overwrites
-	subs     map[chan Event]struct{}
-	res      *krylov.Result
-	err      error
-	counters trace.Counters
-	obsSum   obs.Summary // merged trace summary across the job's ranks
+	mu         sync.Mutex
+	state      JobState
+	events     []Event // ring of the most recent events
+	dropped    int     // ring overwrites
+	subs       map[chan Event]struct{}
+	res        *krylov.Result
+	err        error
+	counters   trace.Counters
+	obsSum     obs.Summary // merged trace summary across the job's ranks
+	batchWidth int         // coalesced solve width (1 = solo)
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -157,6 +169,14 @@ func (j *Job) Counters() trace.Counters {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.counters
+}
+
+// BatchWidth returns how many jobs this job's solve shared its engine with
+// (itself included); 1 for a solo solve, 0 while still queued.
+func (j *Job) BatchWidth() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.batchWidth
 }
 
 // TraceSummary returns the job's merged phase/overlap trace summary across
@@ -255,11 +275,21 @@ var (
 )
 
 // Manager owns the bounded submission queue and the solve worker pool.
+//
+// The queue is an explicit slice under its own mutex+cond rather than a
+// channel: a worker taking work inspects the whole backlog, not just the
+// head, so it can steal every pending job that coalesces with the one it
+// popped (same operator, method, PC, s and tolerance) and run them as one
+// block solve. Lock order where locks nest: drainMu > mu > qmu.
 type Manager struct {
-	cfg   Config
-	reg   *Registry
-	met   *Metrics
-	queue chan *Job
+	cfg Config
+	reg *Registry
+	met *Metrics
+
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	pending  []*Job // FIFO backlog awaiting a worker
+	quitting bool   // workers exit once the backlog is empty
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -269,11 +299,10 @@ type Manager struct {
 
 	inflight  sync.WaitGroup // queued + running jobs
 	workersWG sync.WaitGroup
-	running   chan struct{} // semaphore-as-gauge: len == running jobs
+	running   chan struct{} // semaphore-as-gauge: len == busy workers
 
 	drainMu  sync.Mutex
 	draining bool
-	quit     chan struct{}
 }
 
 // NewManager starts the worker pool.
@@ -282,12 +311,11 @@ func NewManager(cfg Config, reg *Registry, met *Metrics) *Manager {
 		cfg:     cfg,
 		reg:     reg,
 		met:     met,
-		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    map[string]*Job{},
 		byKey:   map[string]string{},
 		running: make(chan struct{}, cfg.Workers),
-		quit:    make(chan struct{}),
 	}
+	m.qcond = sync.NewCond(&m.qmu)
 	m.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -296,7 +324,11 @@ func NewManager(cfg Config, reg *Registry, met *Metrics) *Manager {
 }
 
 // QueueDepth returns the number of jobs waiting for a worker.
-func (m *Manager) QueueDepth() int { return len(m.queue) }
+func (m *Manager) QueueDepth() int {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	return len(m.pending)
+}
 
 // InFlight returns the number of jobs currently executing.
 func (m *Manager) InFlight() int { return len(m.running) }
@@ -370,9 +402,9 @@ func (m *Manager) Submit(req SolveRequest) (*Job, error) {
 		j.ID = fmt.Sprintf("job-%d", m.nextID)
 	}
 	m.inflight.Add(1)
-	select {
-	case m.queue <- j:
-	default:
+	m.qmu.Lock()
+	if len(m.pending) >= m.cfg.QueueDepth {
+		m.qmu.Unlock()
 		m.inflight.Done()
 		m.met.jobsRejected.Add(1)
 		m.mu.Unlock()
@@ -380,6 +412,9 @@ func (m *Manager) Submit(req SolveRequest) (*Job, error) {
 		cancel()
 		return nil, ErrQueueFull
 	}
+	m.pending = append(m.pending, j)
+	m.qcond.Signal()
+	m.qmu.Unlock()
 	// The queued event is recorded before the job becomes findable — no
 	// subscriber exists yet, so it cannot interleave after a fast worker's
 	// start/result events in anyone's stream.
@@ -434,19 +469,91 @@ func (m *Manager) List() []*Job {
 	return out
 }
 
+// coalescible reports whether a request may join a block solve: coalescing
+// runs on the sequential engine, so only single-rank jobs qualify.
+func coalescible(r SolveRequest) bool { return r.Ranks <= 1 }
+
+// coalesceKey groups requests that can share one block solve: same operator,
+// method, preconditioner, s, tolerance and iteration budget. RHSSeed is
+// deliberately excluded — distinct right-hand sides are exactly what a block
+// solve batches — as are TimeoutMS (deadlines stay per job under the gang's
+// cancellation wrappers) and IncludeX/JobKey (response shaping).
+func coalesceKey(r SolveRequest) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%g|%d",
+		r.ProblemSpec.Key(), r.Method, r.PC, r.S, r.RelTol, r.MaxIter)
+}
+
+// stealLocked moves every pending job that coalesces with key into batch, in
+// FIFO order, up to the configured width. Caller holds qmu.
+func (m *Manager) stealLocked(batch []*Job, key string) []*Job {
+	kept := m.pending[:0]
+	for _, j := range m.pending {
+		if len(batch) < m.cfg.CoalesceWidth && coalescible(j.Req) && coalesceKey(j.Req) == key {
+			batch = append(batch, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(m.pending); i++ {
+		m.pending[i] = nil // drop stolen jobs' pointers from the backlog array
+	}
+	m.pending = kept
+	return batch
+}
+
+// takeBatch blocks until work or shutdown: it pops the backlog head and,
+// when coalescing is on, steals every compatible pending job (optionally
+// waiting one CoalesceWindow for stragglers when the batch is not yet full).
+// Returns nil when the manager is quitting and the backlog is empty.
+func (m *Manager) takeBatch() []*Job {
+	m.qmu.Lock()
+	for len(m.pending) == 0 && !m.quitting {
+		m.qcond.Wait()
+	}
+	if len(m.pending) == 0 {
+		m.qmu.Unlock()
+		return nil
+	}
+	head := m.pending[0]
+	m.pending[0] = nil
+	m.pending = m.pending[1:]
+	batch := []*Job{head}
+	if m.cfg.CoalesceWidth > 1 && coalescible(head.Req) {
+		key := coalesceKey(head.Req)
+		batch = m.stealLocked(batch, key)
+		if len(batch) < m.cfg.CoalesceWidth && m.cfg.CoalesceWindow > 0 {
+			// Half-open window: wait once for stragglers, then go with what
+			// arrived. Bounded, so a lone job's latency cost is one window.
+			m.qmu.Unlock()
+			time.Sleep(m.cfg.CoalesceWindow)
+			m.qmu.Lock()
+			batch = m.stealLocked(batch, key)
+		}
+	}
+	m.qmu.Unlock()
+	return batch
+}
+
 func (m *Manager) worker() {
 	defer m.workersWG.Done()
 	for {
-		select {
-		case <-m.quit:
+		batch := m.takeBatch()
+		if batch == nil {
 			return
-		case j := <-m.queue:
-			m.running <- struct{}{}
-			if m.cfg.testHookBeforeRun != nil {
+		}
+		m.running <- struct{}{}
+		if m.cfg.testHookBeforeRun != nil {
+			for _, j := range batch {
 				m.cfg.testHookBeforeRun(j)
 			}
-			m.run(j)
-			<-m.running
+		}
+		if len(batch) == 1 {
+			m.run(batch[0])
+		} else {
+			m.runBatch(batch)
+		}
+		<-m.running
+		for range batch {
 			m.inflight.Done()
 		}
 	}
@@ -480,6 +587,9 @@ func (m *Manager) Drain(ctx context.Context) {
 		}
 		<-finished
 	}
-	close(m.quit)
+	m.qmu.Lock()
+	m.quitting = true
+	m.qcond.Broadcast()
+	m.qmu.Unlock()
 	m.workersWG.Wait()
 }

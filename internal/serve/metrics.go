@@ -67,6 +67,10 @@ type Metrics struct {
 	jobsDrained   atomic.Int64 // 503s during drain
 	jobsDeduped   atomic.Int64 // submissions attached to a retained job by idempotency key
 
+	jobsCoalesced atomic.Int64 // jobs run inside a width>1 block solve
+	jobsSolo      atomic.Int64 // jobs run as width-1 solves
+	batchWidth    atomic.Int64 // width of the most recent batch (gauge)
+
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
@@ -106,6 +110,18 @@ func (m *Metrics) AddObs(s obs.Summary) {
 
 // ObserveLatency records one job's end-to-end latency (submit to finish).
 func (m *Metrics) ObserveLatency(seconds float64) { m.latency.Observe(seconds) }
+
+// noteBatch records one solve execution of the given width: the width gauge
+// tracks the most recent batch, and every member job is tallied as coalesced
+// (width > 1) or solo.
+func (m *Metrics) noteBatch(width int) {
+	m.batchWidth.Store(int64(width))
+	if width > 1 {
+		m.jobsCoalesced.Add(int64(width))
+	} else {
+		m.jobsSolo.Add(1)
+	}
+}
 
 // countJob tallies a finished job's outcome.
 func (m *Metrics) countJob(state JobState) {
@@ -147,6 +163,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, mgr *Manager, reg *Registry) {
 	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"canceled\"} %d\n", m.jobsCanceled.Load())
 	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"rejected\"} %d\n", m.jobsRejected.Load())
 	fmt.Fprintf(w, "solverd_jobs_total{outcome=\"drained\"} %d\n", m.jobsDrained.Load())
+
+	fmt.Fprintf(w, "# HELP solverd_batch_width Width of the most recently executed solve batch (1 = solo).\n")
+	fmt.Fprintf(w, "# TYPE solverd_batch_width gauge\n")
+	fmt.Fprintf(w, "solverd_batch_width %d\n", m.batchWidth.Load())
+	fmt.Fprintf(w, "# HELP solverd_jobs_batched_total Jobs executed, by whether their solve was coalesced into a width>1 block solve.\n")
+	fmt.Fprintf(w, "# TYPE solverd_jobs_batched_total counter\n")
+	fmt.Fprintf(w, "solverd_jobs_batched_total{mode=\"coalesced\"} %d\n", m.jobsCoalesced.Load())
+	fmt.Fprintf(w, "solverd_jobs_batched_total{mode=\"solo\"} %d\n", m.jobsSolo.Load())
 
 	fmt.Fprintf(w, "# HELP solverd_jobs_deduped_total Submissions attached to a retained job via their idempotency key.\n")
 	fmt.Fprintf(w, "# TYPE solverd_jobs_deduped_total counter\n")

@@ -79,6 +79,18 @@ type Config struct {
 	// The daemon serves the set on GET /v1/cluster so a router can bootstrap
 	// cluster membership from any one shard ("discovery by registration").
 	Peers map[string]string
+	// CoalesceWidth, when > 1, lets a worker run up to this many queued
+	// single-rank jobs with the same coalesce key (operator, method, PC, s,
+	// tolerance, iteration budget) as ONE block solve (internal/blockcg):
+	// the batch shares every SPMV and reduction while each job keeps its own
+	// right-hand side, convergence trajectory, deadline and counter ledger —
+	// bit-identical per job to a solo solve. Default 1: coalescing off.
+	CoalesceWidth int
+	// CoalesceWindow is how long a worker whose batch is not yet full waits,
+	// once, for compatible stragglers before solving. Zero (the default)
+	// batches only what is already queued — pure backlog coalescing, no
+	// added latency.
+	CoalesceWindow time.Duration
 
 	// testHookBeforeRun, when set by in-package tests, runs in the worker
 	// just before a job executes — a deterministic way to hold the pool busy
@@ -101,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 512
+	}
+	if c.CoalesceWidth <= 0 {
+		c.CoalesceWidth = 1
 	}
 	if c.Log == nil {
 		c.Log = slog.Default()

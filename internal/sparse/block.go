@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Block (multi-RHS) SPMV: y_j = A·x_j for a batch of right-hand-side
+// columns, reading A's Val/Col stream ONCE per row for the whole batch. The
+// matrix is the memory-bound stream in a CG iteration, so amortizing it over
+// k columns is where block solving's throughput comes from.
+//
+// Determinism contract: per column the accumulation replicates mulRows
+// exactly — four partial sums filled in the same element order and combined
+// as (s0+s1)+(s2+s3), remainder folded into s0 — and the chunk dispatch uses
+// the same nnz-balanced plan as MulVec. A block product is therefore
+// bit-identical per column to k independent MulVec calls at any worker
+// count, which is what lets the block solver promise bit-identity to k solo
+// solves.
+
+// mulRowsMulti applies rows [r0, r1) of A to every source column, writing
+// ys[j][i-yoff] for row i and column j.
+func (a *CSR) mulRowsMulti(ys, xs [][]float64, r0, r1, yoff int) {
+	nrhs := len(xs)
+	// Four accumulators per column, mirroring mulRows' s0..s3; stack space
+	// covers typical batch widths, wider batches spill to one allocation
+	// per chunk.
+	var accBuf [32]float64
+	acc := accBuf[:]
+	if 4*nrhs > len(acc) {
+		acc = make([]float64, 4*nrhs)
+	}
+	acc = acc[:4*nrhs]
+	for i := r0; i < r1; i++ {
+		for t := range acc {
+			acc[t] = 0
+		}
+		k := a.RowPtr[i]
+		end := a.RowPtr[i+1]
+		for ; k+4 <= end; k += 4 {
+			v0, c0 := a.Val[k], a.Col[k]
+			v1, c1 := a.Val[k+1], a.Col[k+1]
+			v2, c2 := a.Val[k+2], a.Col[k+2]
+			v3, c3 := a.Val[k+3], a.Col[k+3]
+			for j := 0; j < nrhs; j++ {
+				x := xs[j]
+				aj := acc[4*j : 4*j+4 : 4*j+4]
+				aj[0] += v0 * x[c0]
+				aj[1] += v1 * x[c1]
+				aj[2] += v2 * x[c2]
+				aj[3] += v3 * x[c3]
+			}
+		}
+		for ; k < end; k++ {
+			v, c := a.Val[k], a.Col[k]
+			for j := 0; j < nrhs; j++ {
+				acc[4*j] += v * xs[j][c]
+			}
+		}
+		for j := 0; j < nrhs; j++ {
+			ys[j][i-yoff] = (acc[4*j] + acc[4*j+1]) + (acc[4*j+2] + acc[4*j+3])
+		}
+	}
+}
+
+// mulMat is the block dispatcher, mirroring mulVec chunk for chunk so block
+// and per-column products agree to the bit.
+func (a *CSR) mulMat(ys, xs [][]float64, lo, hi, yoff int) {
+	if len(ys) != len(xs) {
+		panic(fmt.Sprintf("sparse: MulMat shape mismatch: %d dst vs %d src columns", len(ys), len(xs)))
+	}
+	if len(xs) == 0 {
+		return
+	}
+	if len(xs) == 1 {
+		a.mulVec(ys[0], xs[0], lo, hi, yoff)
+		return
+	}
+	for j := range xs {
+		if len(xs[j]) < a.Cols {
+			panic(fmt.Sprintf("sparse: MulMat x[%d] too short: %d < %d", j, len(xs[j]), a.Cols))
+		}
+	}
+	if lo >= hi {
+		return
+	}
+	total := a.rowWork(lo, hi)
+	nc := par.NumChunks(total)
+	if nc <= 1 {
+		a.mulRowsMulti(ys, xs, lo, hi, yoff)
+		return
+	}
+	if lo == 0 && hi == a.Rows {
+		ch := a.ChunkPlan()
+		n := len(ch.Bounds) - 1
+		par.Default().ForChunks(n, func(c int) {
+			a.mulRowsMulti(ys, xs, ch.Bounds[c], ch.Bounds[c+1], yoff)
+		})
+		return
+	}
+	par.Default().ForChunks(nc, func(c int) {
+		r0 := a.searchRow(lo, hi, c*total/nc)
+		r1 := a.searchRow(lo, hi, (c+1)*total/nc)
+		a.mulRowsMulti(ys, xs, r0, r1, yoff)
+	})
+}
+
+// MulMat computes ys[j] = A·xs[j] for every column j, bit-identical per
+// column to MulVec but with one read of A for the whole batch.
+func (a *CSR) MulMat(ys, xs [][]float64) { a.mulMat(ys, xs, 0, a.Rows, 0) }
+
+// MulMatRangeInto computes ys[j][i-lo] = (A·xs[j])[i] for rows [lo, hi) —
+// the block counterpart of MulVecRangeInto, used by the distributed engine
+// where each rank owns a row block and the destinations are local-length.
+func (a *CSR) MulMatRangeInto(ys, xs [][]float64, lo, hi int) {
+	a.mulMat(ys, xs, lo, hi, lo)
+}

@@ -448,3 +448,28 @@ func DotsAgainst(dst []float64, x []float64, q Multi) {
 		}
 	})
 }
+
+// Pack copies the columns into dst back to back, in slice order, and returns
+// the packed length. It is the payload-concatenation half of the block
+// solver's batched reductions: k columns' reduction buffers become one
+// contiguous allreduce payload, so k collectives collapse into one. dst must
+// hold the sum of the column lengths.
+func Pack(dst []float64, cols [][]float64) int {
+	off := 0
+	for _, c := range cols {
+		off += copy(dst[off:], c)
+	}
+	return off
+}
+
+// Unpack is the inverse of Pack: it splits src back into the columns, in
+// slice order, and returns the consumed length. Each column receives exactly
+// the words Pack took from it, so a Pack→reduce→Unpack round trip is
+// bit-transparent per column.
+func Unpack(cols [][]float64, src []float64) int {
+	off := 0
+	for _, c := range cols {
+		off += copy(c, src[off:off+len(c)])
+	}
+	return off
+}

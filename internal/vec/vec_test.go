@@ -356,3 +356,28 @@ func BenchmarkInitAddScaledBlock(b *testing.B) {
 		InitAddScaledBlock(dst, base, p, coef)
 	}
 }
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cols := [][]float64{{1, 2, 3}, {}, {4}, {5, 6}}
+	buf := make([]float64, 6)
+	if n := Pack(buf, cols); n != 6 {
+		t.Fatalf("Pack length = %d, want 6", n)
+	}
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i, v := range want {
+		if buf[i] != v {
+			t.Fatalf("packed[%d] = %v, want %v", i, buf[i], v)
+		}
+	}
+	out := [][]float64{make([]float64, 3), {}, make([]float64, 1), make([]float64, 2)}
+	if n := Unpack(out, buf); n != 6 {
+		t.Fatalf("Unpack length = %d, want 6", n)
+	}
+	for j := range cols {
+		for i := range cols[j] {
+			if out[j][i] != cols[j][i] {
+				t.Fatalf("col %d[%d] = %v, want %v", j, i, out[j][i], cols[j][i])
+			}
+		}
+	}
+}
