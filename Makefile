@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke cluster-chaos audit timeline batch-smoke tier1
+.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke cluster-chaos audit variant-audit timeline batch-smoke tier1
 
 all: tier1
 
@@ -52,6 +52,14 @@ cluster-chaos:
 audit:
 	$(GO) test -race -count=1 -run 'TestAudit|TestGenerate|TestParseConfig|TestDrift|TestGram|TestComparator|TestInvariants|TestExecute|TestLedger' ./internal/audit
 
+# Stability-aware variant family gate: a seeded 50-config differential sweep
+# restricted to pipe-pr-cg / pipe-m-cg-rr (default and explicit replacement
+# cadences, bit tier across seq/sim/commP1, outcome tier cross-P) with zero
+# violations, plus the rr wire-format round-trip and the shrinker's
+# cadence-validity regression — under the race detector.
+variant-audit:
+	$(GO) test -race -count=1 -run 'TestVariant|TestShrinkKeepsCadenceValid' ./internal/audit
+
 # Timeline export smoke: an instrumented PIPE-PsCG solve at P=4 plus a
 # stagnation-recovery demo, written as Chrome trace-event JSON and validated
 # (well-formed complete events, every phase present on every rank, overlap
@@ -73,7 +81,7 @@ batch-smoke:
 # solver-service smoke, the multi-RHS coalescing smoke, the inter-daemon
 # cluster chaos run, the differential audit sweep, the timeline export
 # smoke, and the hot-path kernel perf smoke.
-tier1: build vet test race chaos serve-smoke batch-smoke cluster-chaos audit timeline perf
+tier1: build vet test race chaos serve-smoke batch-smoke cluster-chaos audit variant-audit timeline perf
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -248,15 +248,40 @@ func rhsBurst(cfg benchConfig, req serve.SolveRequest, k int) error {
 	return nil
 }
 
-// retrySleep picks the backpressure pause for the given retry ordinal: the
-// server's Retry-After when it sent one, else an exponential fallback, both
-// clamped to the cap.
-func retrySleep(resp *http.Response, attempt int, cap time.Duration) time.Duration {
-	d := time.Duration(0)
-	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-		d = time.Duration(ra) * time.Second
+// parseRetryAfter interprets an RFC 7231 Retry-After value as a wait relative
+// to now. Both wire forms are honored: delta-seconds ("120", including a
+// legitimate "0" — retry immediately) and an HTTP-date (a date already past
+// also means now). Absent, negative or otherwise malformed values return
+// ok=false so the caller falls back to its own schedule — the old parser
+// conflated "0", "-5" and garbage into the same fallback, so a server
+// explicitly waiving the wait was made to pay the exponential backoff anyway.
+func parseRetryAfter(value string, now time.Time) (time.Duration, bool) {
+	value = strings.TrimSpace(value)
+	if value == "" {
+		return 0, false
 	}
-	if d <= 0 {
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if when, err := http.ParseTime(value); err == nil {
+		d := when.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// retrySleep picks the backpressure pause for the given retry ordinal: the
+// server's Retry-After when it sent a valid one, else an exponential
+// fallback, both clamped to the cap.
+func retrySleep(resp *http.Response, attempt int, cap time.Duration) time.Duration {
+	d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+	if !ok {
 		d = 25 * time.Millisecond << uint(attempt)
 	}
 	if d > cap {

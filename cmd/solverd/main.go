@@ -53,6 +53,8 @@ func main() {
 			"coalesce up to this many queued same-system jobs into one block solve (1 = off; bit-identical per job)")
 		batchWindow = flag.Duration("batch-window", 0,
 			"how long a worker holding a coalescible job waits for more before solving (0 = no wait)")
+		autoTune = flag.Bool("auto-tune", false,
+			"requests without a method run under the stability tuner (method \"auto\") instead of the resilience ladder")
 	)
 	flag.Parse()
 
@@ -61,16 +63,17 @@ func main() {
 		log.Fatal(err)
 	}
 	s := serve.New(serve.Config{
-		QueueDepth:     *queue,
-		Workers:        *workers,
-		CacheEntries:   *cache,
-		MaxJobRuntime:  *maxRuntime,
-		Log:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
-		EnablePprof:    *pprofOn,
-		ShardID:        *shard,
-		Peers:          peerMap,
-		CoalesceWidth:  *batchWidth,
-		CoalesceWindow: *batchWindow,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		CacheEntries:    *cache,
+		MaxJobRuntime:   *maxRuntime,
+		Log:             slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		EnablePprof:     *pprofOn,
+		ShardID:         *shard,
+		Peers:           peerMap,
+		CoalesceWidth:   *batchWidth,
+		CoalesceWindow:  *batchWindow,
+		AutoTuneDefault: *autoTune,
 	})
 	if *load != "" {
 		for _, path := range strings.Split(*load, ",") {

@@ -147,15 +147,32 @@ func compareCrossP(cfg Config, base, r *Run, p AuditParams) []Violation {
 		// Slack of one outer block absorbs a convergence check landing on
 		// the other side of the tolerance at tiny iteration counts.
 		slack := float64(2 * cfg.S)
-		if ratio > p.CrossIterRatio && float64(ri-bi) > slack {
-			viol("iterations %d vs %d on %s exceeds ratio %g", ri, bi, against, p.CrossIterRatio)
+		limit := p.CrossIterRatio
+		if partitionDependentPCs[cfg.PC] {
+			// A rank-local preconditioner (block-SOR sweeps inside each
+			// rank's rows) weakens as P grows: the cross-P runs solve
+			// genuinely different preconditioned systems, and on a
+			// 100-row Poisson every method in the pool — PCG included —
+			// goes from 10 iterations at P=1 to 21 at P=7. Widen the
+			// ratio rather than dropping the gate; the true-residual
+			// check (CheckTrueResidual) still binds unconditionally.
+			limit *= 1.5
 		}
-		if 1/ratio > p.CrossIterRatio && float64(bi-ri) > slack {
-			viol("iterations %d vs %d on %s exceeds ratio %g", ri, bi, against, p.CrossIterRatio)
+		if ratio > limit && float64(ri-bi) > slack {
+			viol("iterations %d vs %d on %s exceeds ratio %g", ri, bi, against, limit)
+		}
+		if 1/ratio > limit && float64(bi-ri) > slack {
+			viol("iterations %d vs %d on %s exceeds ratio %g", ri, bi, against, limit)
 		}
 	}
 	return vs
 }
+
+// partitionDependentPCs are the preconditioners whose action depends on the
+// row partition: block-local sweeps change as blocks shrink, so cross-P
+// iteration counts legitimately drift apart with P. Jacobi is diagonal —
+// partition-invariant — and gets no widening.
+var partitionDependentPCs = map[string]bool{"sor": true}
 
 // CheckTrueResidual closes the cross-P loop: the gathered iterate of a
 // converged multi-rank run must satisfy the ORIGINAL system to within

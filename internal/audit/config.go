@@ -30,7 +30,14 @@ type Config struct {
 	// holding every column to bit-identity against its own solo solve — the
 	// block determinism contract under the same differential policy as the
 	// engine matrix.
-	K    int
+	K int
+	// RR is the residual-replacement cadence for the stability-aware
+	// pipelined variants (Options.ReplaceEvery): every RR iterations the
+	// recurrence residual is recomputed from r = b − A·x. 0 means the
+	// method's own default (pipe-m-cg-rr replaces on its built-in cadence,
+	// every other method does not replace at all), so 0 is the canonical
+	// form and configs without replacement stringify without an rr field.
+	RR   int
 	Seed uint64 // generator draw that produced this config (provenance)
 }
 
@@ -62,8 +69,12 @@ func (c Config) String() string {
 	if c.Op != "" {
 		op = ";op=" + c.Op
 	}
-	return fmt.Sprintf("problem=%s;%s=%d;method=%s;pc=%s;s=%d%s%s;seed=0x%x",
-		c.Problem, dim, c.N, c.Method, c.PC, c.S, k, op, c.Seed)
+	rr := ""
+	if c.RR > 0 {
+		rr = fmt.Sprintf(";rr=%d", c.RR)
+	}
+	return fmt.Sprintf("problem=%s;%s=%d;method=%s;pc=%s;s=%d%s%s%s;seed=0x%x",
+		c.Problem, dim, c.N, c.Method, c.PC, c.S, k, op, rr, c.Seed)
 }
 
 // ParseConfig parses the String form back into a Config.
@@ -111,6 +122,12 @@ func ParseConfig(s string) (Config, error) {
 				return c, fmt.Errorf("audit: bad k=%q: %v", v, err)
 			}
 			c.K = n
+		case "rr":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return c, fmt.Errorf("audit: bad rr=%q (want a non-negative cadence)", v)
+			}
+			c.RR = n
 		case "seed":
 			sd, err := strconv.ParseUint(strings.TrimPrefix(v, "0x"), 16, 64)
 			if err != nil {
@@ -163,10 +180,23 @@ var problemPool = []struct {
 // op=stencil axis value is only legal for these).
 var stencilProblems = map[string]bool{"poisson7": true, "poisson5": true}
 
-// methodPool is the sweep's method axis — the six methods ISSUE 4 names:
-// the blocking baselines, both s-step generations and both pipelined
-// variants.
-var methodPool = []string{"pcg", "groppcg", "scg", "pipe-scg", "pscg", "pipe-pscg"}
+// methodPool is the sweep's method axis: the six methods ISSUE 4 named —
+// blocking baselines, both s-step generations, both pipelined variants —
+// plus the stability-aware predict-and-recompute family.
+var methodPool = []string{
+	"pcg", "groppcg", "scg", "pipe-scg", "pscg", "pipe-pscg",
+	"pipe-pr-cg", "pipe-m-cg-rr",
+}
+
+// rrMethods are the methods whose replacement cadence the sweep varies
+// (the rr= axis). Other pipelined methods also honor Options.ReplaceEvery,
+// but only the stability-aware family treats the cadence as a first-class
+// tuning knob, so the axis stays focused there.
+var rrMethods = map[string]bool{"pipe-pr-cg": true, "pipe-m-cg-rr": true}
+
+// rrPool is the replacement-cadence axis for rrMethods: short enough that a
+// test-size solve actually replaces, spread over a factor of 8.
+var rrPool = []int{6, 12, 24, 48}
 
 // pcPool is the preconditioner axis. Methods that ignore the preconditioner
 // are forced to "none" so equal configs stringify equally.
@@ -229,6 +259,18 @@ func configFromDraw(draw uint64) Config {
 	// solve); the rest stays single-RHS (K zero — the canonical form).
 	if draw%4 == 3 {
 		c.K = 2 + int((draw>>8)%3)
+	}
+	// Replacement-cadence axis for the stability-aware family: half the
+	// family's configs stay on the method default (RR zero — the canonical
+	// form), the rest draw an explicit cadence. The 64-bit draw is exhausted
+	// by the axes above, so this axis re-mixes the recorded seed through a
+	// fresh splitmix64 step — still a pure function of the draw.
+	if rrMethods[c.Method] {
+		st := c.Seed ^ 0x5851f42d4c957f2d
+		rd := splitmix64(&st)
+		if rd%2 == 1 {
+			c.RR = rrPool[int((rd>>8)%uint64(len(rrPool)))]
+		}
 	}
 	return c
 }

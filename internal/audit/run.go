@@ -136,6 +136,7 @@ func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
 	opt.S = cfg.S
 	opt.MaxIter = ap.MaxIter
 	opt.Norm = krylov.NormUnpreconditioned
+	opt.ReplaceEvery = cfg.RR
 	solver, err := bench.Solver(cfg.Method)
 	if err != nil {
 		return nil, err

@@ -77,6 +77,20 @@ func Shrink(cfg Config, fails func(Config) bool) Config {
 			}
 		}
 
+		// Default replacement cadence (drop an explicit rr override). Only
+		// RR=0 — "the method's own default" — is ever tried: every positive
+		// cadence is legal but an arbitrary smaller value would change the
+		// replacement schedule rather than remove an axis, and RR=0 is valid
+		// for every method, so the shrinker cannot invent an invalid config.
+		if cfg.RR > 0 {
+			c := cfg
+			c.RR = 0
+			if fails(c) {
+				cfg = c
+				reduced = true
+			}
+		}
+
 		if !reduced {
 			break
 		}

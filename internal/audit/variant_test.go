@@ -1,0 +1,168 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+// variantConfigs walks the seeded config stream and keeps the first count
+// configs that exercise the stability-aware family (pipe-pr-cg /
+// pipe-m-cg-rr) — the population the variant-audit gate sweeps.
+func variantConfigs(seed uint64, count int) []Config {
+	state := seed
+	out := make([]Config, 0, count)
+	for len(out) < count {
+		draw := splitmix64(&state)
+		cfg := configFromDraw(draw)
+		if rrMethods[cfg.Method] {
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// TestVariantAuditSweep is the acceptance gate for the predict-and-recompute
+// family (the Makefile's variant-audit target): ≥50 seeded configs drawn
+// from the stability-aware methods — both variants, default and explicit
+// replacement cadences — each judged by the full differential policy (bit
+// identity across seq/sim/comm P=1, outcome equivalence cross-P, drift,
+// history invariants, block axis when k>1) with zero violations.
+func TestVariantAuditSweep(t *testing.T) {
+	count := 50
+	if testing.Short() {
+		count = 10
+	}
+	cfgs := variantConfigs(acceptanceSeed, count)
+
+	methods := map[string]int{}
+	withRR := 0
+	specs := DefaultSpecs()
+	p := DefaultParams()
+	var violations []Violation
+	runs := 0
+	for _, cfg := range cfgs {
+		methods[cfg.Method]++
+		if cfg.RR > 0 {
+			withRR++
+		}
+		vs, r, _ := AuditConfig(cfg, specs, p)
+		runs += r
+		violations = append(violations, vs...)
+	}
+	for _, v := range violations {
+		t.Errorf("%s", v)
+	}
+	if len(methods) < 2 {
+		t.Fatalf("sweep covered only %v — want both stability-aware variants", methods)
+	}
+	if withRR == 0 {
+		t.Fatal("sweep drew no explicit replacement cadences (rr axis dead)")
+	}
+	if withRR == count {
+		t.Fatal("sweep drew no default-cadence configs (rr=0 canonical form dead)")
+	}
+	t.Logf("%d configs (%v, %d with explicit rr), %d runs, zero violations = %v",
+		count, methods, withRR, runs, len(violations) == 0)
+}
+
+// TestVariantConfigWireFormat pins the rr axis in the repro wire format:
+// explicit cadences round-trip exactly, the canonical rr=0 form stringifies
+// without an rr field, and malformed cadences are rejected rather than
+// silently clamped.
+func TestVariantConfigWireFormat(t *testing.T) {
+	// Generated family configs round-trip, with and without rr.
+	var sawRR, sawDefault bool
+	for _, cfg := range variantConfigs(acceptanceSeed, 32) {
+		s := cfg.String()
+		got, err := ParseConfig(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if got != cfg {
+			t.Fatalf("round trip: %s became %s", cfg, got)
+		}
+		if cfg.RR > 0 {
+			sawRR = true
+			if !strings.Contains(s, ";rr=") {
+				t.Fatalf("%s: explicit cadence missing from wire form", s)
+			}
+		} else {
+			sawDefault = true
+			if strings.Contains(s, "rr=") {
+				t.Fatalf("%s: canonical rr=0 config must not serialize an rr field", s)
+			}
+		}
+	}
+	if !sawRR || !sawDefault {
+		t.Fatalf("generator variety too low: sawRR=%v sawDefault=%v", sawRR, sawDefault)
+	}
+
+	// A hand-written repro line with a cadence parses to the right knob.
+	c, err := ParseConfig("problem=poisson7;n=6;method=pipe-m-cg-rr;pc=jacobi;s=1;rr=24;seed=0x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Method != "pipe-m-cg-rr" || c.RR != 24 {
+		t.Fatalf("parsed %+v", c)
+	}
+
+	// Malformed cadences are errors, not clamps.
+	for _, bad := range []string{
+		"problem=p;method=m;rr=-3",
+		"problem=p;method=m;rr=x",
+		"problem=p;method=m;rr=",
+		"problem=p;method=m;rr=1;rr=2",
+	} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Fatalf("ParseConfig(%q) accepted a malformed cadence", bad)
+		}
+	}
+}
+
+// TestShrinkKeepsCadenceValid is the satellite-3 regression: the shrinker
+// must reduce the replacement-cadence axis only to the always-valid RR=0
+// default — never to a negative or otherwise invalid cadence — and must drop
+// the axis when the failure does not depend on it.
+func TestShrinkKeepsCadenceValid(t *testing.T) {
+	seen := []Config{}
+	record := func(c Config) {
+		seen = append(seen, c)
+	}
+
+	// Failure independent of the cadence: the axis must shrink away.
+	cfg := Config{Problem: "poisson7", N: 9, Method: "pipe-m-cg-rr", PC: "jacobi", S: 1, RR: 24}
+	got := Shrink(cfg, func(c Config) bool {
+		record(c)
+		return c.Method == "pipe-m-cg-rr" // fails regardless of rr
+	})
+	if got.RR != 0 {
+		t.Fatalf("cadence-independent failure kept rr=%d, want 0", got.RR)
+	}
+	if got.N != minDim("poisson7") {
+		t.Fatalf("shrink stopped at n=%d, want the floor %d", got.N, minDim("poisson7"))
+	}
+
+	// Failure that needs the explicit cadence: the axis must survive.
+	got = Shrink(cfg, func(c Config) bool {
+		record(c)
+		return c.RR == 24
+	})
+	if got.RR != 24 {
+		t.Fatalf("cadence-dependent failure lost rr: %s", got)
+	}
+
+	// Every config the shrinker ever proposed was valid on the cadence axis:
+	// non-negative, and round-trippable through the wire format.
+	for _, c := range seen {
+		if c.RR < 0 {
+			t.Fatalf("shrinker proposed negative cadence: %s", c)
+		}
+		rt, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("shrinker proposed unparseable config %s: %v", c, err)
+		}
+		if rt != c {
+			t.Fatalf("shrinker proposal does not round-trip: %s vs %s", c, rt)
+		}
+	}
+}

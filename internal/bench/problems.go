@@ -165,6 +165,7 @@ func MakePC(name string, pr Problem) (engine.Preconditioner, error) {
 // MethodNames lists every implemented solver in presentation order.
 var MethodNames = []string{
 	"pcg", "cg-cg", "groppcg", "pipecg", "pipecg3", "pipecg-oati",
+	"pipe-pr-cg", "pipe-m-cg-rr",
 	"scg", "pscg", "scg-s", "pipe-scg", "pipe-pscg", "hybrid",
 }
 
@@ -183,6 +184,10 @@ func Solver(name string) (krylov.Solver, error) {
 		return krylov.PIPECG3, nil
 	case "pipecg-oati":
 		return krylov.PIPECGOATI, nil
+	case "pipe-pr-cg":
+		return krylov.PIPEPRCG, nil
+	case "pipe-m-cg-rr":
+		return krylov.PIPEMCGRR, nil
 	case "scg":
 		return krylov.SCG, nil
 	case "pscg":

@@ -142,3 +142,105 @@ func TestSStepRestartOnBreakdownMakesProgress(t *testing.T) {
 			res.RelRes, res.Converged, res.BrokeDown)
 	}
 }
+
+// TestMCGRRBeatsPlainPipelinedFloor is the drift regression for the
+// stability-aware family: on the ill-conditioned ecology2 stand-in, run past
+// the point where each method has hit its attainable-accuracy floor,
+// pipe-m-cg-rr (periodic residual replacement on the default cadence) must
+// hold a strictly lower TRUE residual ‖b−A·x‖/‖b‖ — not just a lower
+// recurrence residual, which is exactly the quantity rounding drift makes a
+// liar.
+func TestMCGRRBeatsPlainPipelinedFloor(t *testing.T) {
+	a := synth.Ecology2(16).A
+	b := make([]float64, a.Rows)
+	ones := make([]float64, a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	a.MulVec(b, ones)
+
+	// Same fixed iteration budget for both methods, no convergence test:
+	// what is left at the end is each method's floor.
+	run := func(solve Solver) (*Result, float64, *engine.Seq) {
+		e := engine.NewSeq(a, precond.NewJacobi(a, 0, a.Rows))
+		opt := Defaults()
+		opt.RelTol = 0
+		opt.AbsTol = 0
+		opt.MaxIter = 1000
+		res, err := solve(e, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, residualNorm(a, res.X, b), e
+	}
+
+	plain, plainTrue, _ := run(PIPECG)
+	rr, rrTrue, e := run(PIPEMCGRR)
+	if e.Counters().ResidualReplacements == 0 {
+		t.Fatal("pipe-m-cg-rr performed no residual replacements on its default cadence")
+	}
+	// The replacement variant must land at least two orders of magnitude
+	// deeper — measured floors are ~5e-15 vs PIPECG's drifting ~2e-11, so
+	// the 100× margin keeps the assertion robust without being hollow.
+	if rrTrue*100 >= plainTrue {
+		t.Fatalf("pipe-m-cg-rr true residual %g must beat plain pipelined CG's floor %g by ≥100× (recurrence relres: %g vs %g)",
+			rrTrue, plainTrue, rr.RelRes, plain.RelRes)
+	}
+}
+
+// TestReplacePolicyHook pins the rk_replace-style policy contract: a non-nil
+// Options.ReplacePolicy overrides ReplaceEvery entirely, is consulted with
+// 1-based iteration numbers, and drives the ResidualReplacements counter.
+func TestReplacePolicyHook(t *testing.T) {
+	a, b := testProblem(t)
+
+	run := func(opt Options) (*Result, *engine.Seq, []int) {
+		var asked []int
+		inner := opt.ReplacePolicy
+		opt.ReplacePolicy = func(k int) bool {
+			asked = append(asked, k)
+			return inner != nil && inner(k)
+		}
+		e := engine.NewSeq(a, precond.NewJacobi(a, 0, a.Rows))
+		res, err := PIPEMCGRR(e, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, e, asked
+	}
+
+	// A policy that never fires wins over an aggressive ReplaceEvery.
+	opt := Defaults()
+	opt.RelTol = 1e-8
+	opt.ReplaceEvery = 2
+	res, e, asked := run(opt)
+	if !res.Converged {
+		t.Fatalf("did not converge: %g", res.RelRes)
+	}
+	if got := e.Counters().ResidualReplacements; got != 0 {
+		t.Fatalf("never-fire policy must suppress replacement, counter = %d", got)
+	}
+	if len(asked) == 0 || asked[0] != 1 {
+		t.Fatalf("policy must be consulted with 1-based iterations, got %v", asked[:min(len(asked), 3)])
+	}
+	for i, k := range asked {
+		if k != i+1 {
+			t.Fatalf("policy consultations not consecutive 1-based: asked[%d] = %d", i, k)
+		}
+	}
+
+	// A firing policy is visible in the counters.
+	opt = Defaults()
+	opt.RelTol = 1e-8
+	opt.ReplacePolicy = func(k int) bool { return k%5 == 0 }
+	res, e, _ = run(Options{RelTol: 1e-8, AbsTol: 1e-50, MaxIter: 100000, S: 3,
+		ReplacePolicy: opt.ReplacePolicy})
+	if !res.Converged {
+		t.Fatalf("did not converge: %g", res.RelRes)
+	}
+	want := res.Iterations / 5
+	if got := e.Counters().ResidualReplacements; got != want {
+		t.Fatalf("every-5 policy: %d replacements over %d iterations, want %d",
+			got, res.Iterations, want)
+	}
+}

@@ -12,16 +12,18 @@ import (
 )
 
 var allSolvers = map[string]Solver{
-	"pcg":         PCG,
-	"pipecg":      PIPECG,
-	"pipecg3":     PIPECG3,
-	"pipecg-oati": PIPECGOATI,
-	"scg":         SCG,
-	"pscg":        PSCG,
-	"scg-s":       SCGS,
-	"pipe-scg":    PIPESCG,
-	"pipe-pscg":   PIPEPSCG,
-	"hybrid":      Hybrid,
+	"pcg":          PCG,
+	"pipecg":       PIPECG,
+	"pipecg3":      PIPECG3,
+	"pipecg-oati":  PIPECGOATI,
+	"pipe-pr-cg":   PIPEPRCG,
+	"pipe-m-cg-rr": PIPEMCGRR,
+	"scg":          SCG,
+	"pscg":         PSCG,
+	"scg-s":        SCGS,
+	"pipe-scg":     PIPESCG,
+	"pipe-pscg":    PIPEPSCG,
+	"hybrid":       Hybrid,
 }
 
 func testProblem(t *testing.T) (*sparse.CSR, []float64) {

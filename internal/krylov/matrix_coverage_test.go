@@ -56,6 +56,7 @@ func TestConvergenceMatrix(t *testing.T) {
 	methods := map[string]Solver{
 		"pcg": PCG, "cg-cg": CGCG, "groppcg": GROPPCG, "pipecg": PIPECG,
 		"pipecg3": PIPECG3, "pipecg-oati": PIPECGOATI,
+		"pipe-pr-cg": PIPEPRCG, "pipe-m-cg-rr": PIPEMCGRR,
 		"scg": SCG, "pscg": PSCG, "scg-s": SCGS,
 		"pipe-scg": PIPESCG, "pipe-pscg": PIPEPSCG, "hybrid": Hybrid,
 	}

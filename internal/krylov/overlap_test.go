@@ -92,6 +92,37 @@ func TestMeasuredOverlapEfficiency(t *testing.T) {
 	}
 }
 
+// TestVariantFamilyOverlap pins the same ledger contract for the
+// stability-aware variants: pipe-pr-cg and pipe-m-cg-rr keep a measured
+// hidden fraction comparable to PIPE-PsCG's (clearly above PCG's exact 0)
+// under injected hop latency, because their reductions stay posted behind
+// the overlapped SPMVs even with the extra recompute/replacement kernels.
+func TestVariantFamilyOverlap(t *testing.T) {
+	const hop = 200 * time.Microsecond
+
+	for _, tc := range []struct {
+		name  string
+		solve Solver
+	}{
+		{"pipe-pr-cg", PIPEPRCG},
+		{"pipe-m-cg-rr", PIPEMCGRR},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sum := measuredOverlap(t, tc.solve, hop)
+			if sum.Overlap.Posted == 0 {
+				t.Fatalf("%s posted no non-blocking reductions — ledger not wired", tc.name)
+			}
+			hf := sum.HiddenFraction()
+			if hf <= 0.15 {
+				t.Fatalf("%s measured hidden fraction = %v, want > 0.15 with %v hop latency", tc.name, hf, hop)
+			}
+			if sum.Overlap.ComputeUnderNS <= 0 {
+				t.Fatalf("%s: no compute measured under posted reductions", tc.name)
+			}
+		})
+	}
+}
+
 // TestTracedSolveBitIdentical pins the "strictly observational" contract at
 // the solver level: the same solve with and without tracers attached must
 // produce bit-identical iterates, histories and counter ledgers.

@@ -18,6 +18,7 @@ var LadderRungs = []struct {
 	Solve Solver
 }{
 	{"pipe-pscg", PIPEPSCG},
+	{"pipe-m-cg-rr", PIPEMCGRR},
 	{"pscg", PSCG},
 	{"pcg", PCG},
 }
@@ -41,7 +42,11 @@ func (e *LadderError) Error() string {
 // in-solver recovery policy enabled (Options.Recover — breakdown, divergence
 // and stagnation trigger residual replacement and a basis rebuild instead of
 // a hard stop), and when a rung still cannot progress it steps down
-// PIPE-PsCG → PsCG → PCG, reseeding each rung from the best iterate so far.
+// PIPE-PsCG → PIPE-M-CG-RR → PsCG → PCG, reseeding each rung from the best
+// iterate so far. The residual-replacement rung sits between the pipelined
+// s-step method and the blocking classical s-step method: it keeps the
+// overlapped schedule but gives up the s-step basis, the usual first casualty
+// on ill-conditioned systems.
 // Every stepdown is recorded in trace.Counters. The returned error is nil on
 // convergence and a typed *LadderError (or the backend's comm error)
 // otherwise — never a silent wrong answer.

@@ -119,6 +119,9 @@ func (m *Manager) runBatch(batch []*Job) {
 		if req.RelTol > 0 {
 			opt.RelTol = req.RelTol
 		}
+		// ReplaceEvery is part of the coalesce key, so every member of the
+		// batch requested the same cadence.
+		opt.ReplaceEvery = req.ReplaceEvery
 		// colEng is this column's engine view; the progress hook runs on the
 		// column's own goroutine, so reading its per-column ledger is safe.
 		var colEng engine.Engine

@@ -32,6 +32,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/matrices", s.handleMatrices)
 	s.mux.HandleFunc("PUT /v1/matrices/{name}", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/tuner", s.handleTuner)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -131,10 +132,10 @@ type JobStatus struct {
 	// RelRes passes through saneRel like every event field: a non-finite
 	// final residual is reported as Diverged with RelRes omitted, keeping
 	// the status endpoint encodable for every terminal state.
-	RelRes   float64 `json:"relres,omitempty"`
-	Diverged bool    `json:"diverged,omitempty"`
-	Error    string  `json:"error,omitempty"`
-	XHash    string  `json:"x_hash,omitempty"`
+	RelRes   float64   `json:"relres,omitempty"`
+	Diverged bool      `json:"diverged,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	XHash    string    `json:"x_hash,omitempty"`
 	X        []float64 `json:"x,omitempty"`
 	Counters any       `json:"counters,omitempty"`
 	// BatchWidth is how many jobs the solve was coalesced with (itself
@@ -288,6 +289,13 @@ type ClusterInfo struct {
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ClusterInfo{Shard: s.cfg.ShardID, Peers: s.cfg.Peers})
+}
+
+// handleTuner exposes the stability tuner's state: every operator
+// fingerprint with its recorded best configuration and the evidence that
+// produced it. Empty until an auto job has finished.
+func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs.Tuner().Snapshot())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -119,6 +120,92 @@ func TestShardIdentityJobIDs(t *testing.T) {
 		t.Fatalf("job ID %q lacks shard prefix", j.ID)
 	}
 	<-j.Done()
+}
+
+// TestRetentionTrimsOnCompletion is the regression for a job/key leak:
+// trimLocked used to run only on Submit and stops at a live oldest job, so a
+// backlog submitted while the oldest job was still running — and finishing
+// after the LAST submission — was never trimmed: jobs and their idempotency
+// keys sat above RetainJobs forever (until the next submission, which a
+// drained or killed server never sees). Completion now trims too.
+func TestRetentionTrimsOnCompletion(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 16, RetainJobs: 2,
+		testHookBeforeRun: func(*Job) { <-release }})
+
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		j, err := s.Jobs.Submit(SolveRequest{
+			ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5},
+			JobKey:      fmt.Sprintf("ret-%d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	// All five are retained while live: the oldest is running (held by the
+	// hook), so Submit-side trims must keep everything.
+	if got := len(s.Jobs.List()); got != 5 {
+		t.Fatalf("retained %d live jobs, want all 5", got)
+	}
+
+	close(release)
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	// No submission happens after the jobs finish — completion itself must
+	// have trimmed down to the retention bound, keys included.
+	if got := len(s.Jobs.List()); got > 2 {
+		t.Fatalf("retained %d jobs after completion, want <= RetainJobs (2)", got)
+	}
+	s.Jobs.mu.Lock()
+	keys := len(s.Jobs.byKey)
+	s.Jobs.mu.Unlock()
+	if keys > 2 {
+		t.Fatalf("retained %d idempotency keys after completion, want <= 2", keys)
+	}
+	// A trimmed key starts a fresh job, not a dedup attach.
+	again, err := s.Jobs.Submit(SolveRequest{
+		ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5}, JobKey: "ret-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID == jobs[0].ID {
+		t.Fatal("trimmed key attached to the forgotten job")
+	}
+	<-again.Done()
+	drainServer(t, s)
+}
+
+// TestKillTrimsRetention: the SIGKILL-equivalent teardown cancels the whole
+// backlog; those completions must trim retention the same way natural ones
+// do, so a crashed-and-inspected server holds no key map above the bound.
+func TestKillTrimsRetention(t *testing.T) {
+	// The hook parks the worker until Kill cancels the held job — the
+	// teardown itself is what lets the backlog finish, exactly the crash
+	// shape the leak needs.
+	s := New(Config{Workers: 1, QueueDepth: 16, RetainJobs: 2,
+		testHookBeforeRun: func(j *Job) { <-j.ctx.Done() }})
+
+	for i := 0; i < 5; i++ {
+		if _, err := s.Jobs.Submit(SolveRequest{
+			ProblemSpec: ProblemSpec{Problem: "poisson7", N: 5},
+			JobKey:      fmt.Sprintf("kill-%d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Kill() // cancels every queued and running job, waits for the unwind
+	if got := len(s.Jobs.List()); got > 2 {
+		t.Fatalf("retained %d jobs after Kill, want <= RetainJobs (2)", got)
+	}
+	s.Jobs.mu.Lock()
+	keys := len(s.Jobs.byKey)
+	s.Jobs.mu.Unlock()
+	if keys > 2 {
+		t.Fatalf("retained %d idempotency keys after Kill, want <= 2", keys)
+	}
 }
 
 // drainServer shuts a test server down within a bounded window.

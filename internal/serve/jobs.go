@@ -26,6 +26,12 @@ type SolveRequest struct {
 	MaxIter   int     `json:"maxiter,omitempty"`
 	Ranks     int     `json:"ranks,omitempty"`
 	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	// ReplaceEvery sets the residual-replacement cadence for the methods that
+	// honor it (pipe-m-cg-rr, pipe-pr-cg, pipecg): every ReplaceEvery
+	// iterations the recurrence residual is recomputed from the true residual.
+	// Zero means the method's own default. Ignored for method "auto", where
+	// the tuner owns the cadence.
+	ReplaceEvery int `json:"replace_every,omitempty"`
 	// IncludeX asks for the full solution vector in the result event.
 	// encoding/json round-trips float64 exactly, so the received iterate is
 	// bit-identical to the solver's.
@@ -119,6 +125,17 @@ type Event struct {
 	// (itself included) when the manager ran it as part of a block solve.
 	// Present on start and result events; 1 (omitted) for a solo solve.
 	BatchWidth int `json:"batch_width,omitempty"`
+	// TunedMethod is the concrete method the stability tuner selected for a
+	// job submitted with method "auto"; Method stays "auto" on such jobs so a
+	// client can tell delegated selection from an explicit request.
+	TunedMethod string `json:"tuned_method,omitempty"`
+	// TunerWarmStart marks an auto job whose configuration came from a
+	// recorded fingerprint rather than the cold-start default.
+	TunerWarmStart bool `json:"tuner_warm_start,omitempty"`
+	// DriftRatio is the max true/recurrence residual ratio the out-of-band
+	// drift probe measured during an auto job's solve (omitted when the job
+	// ran without a probe, e.g. on the multi-rank path).
+	DriftRatio float64 `json:"drift_ratio,omitempty"`
 }
 
 // maxRetainedEvents bounds the per-job event ring replayed to late
@@ -138,8 +155,10 @@ type Job struct {
 	res        *krylov.Result
 	err        error
 	counters   trace.Counters
-	obsSum     obs.Summary // merged trace summary across the job's ranks
-	batchWidth int         // coalesced solve width (1 = solo)
+	obsSum     obs.Summary   // merged trace summary across the job's ranks
+	batchWidth int           // coalesced solve width (1 = solo)
+	tune       *tuneDecision // set when the tuner resolved an auto job
+	driftRatio float64       // max true/recurrence ratio from the drift probe
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -189,6 +208,25 @@ func (j *Job) TraceSummary() obs.Summary {
 
 // Cancel asks a queued or running job to stop; it ends in JobCanceled.
 func (j *Job) Cancel() { j.cancel() }
+
+// tuneDecision returns the tuner's decision for an auto job, nil otherwise.
+func (j *Job) tuneDecision() *tuneDecision {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tune
+}
+
+// effectiveMethod is the method the job actually runs: the tuner's selection
+// for an auto job (valid once the decision is made, at run start), the
+// request's method otherwise.
+func (j *Job) effectiveMethod() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.tune != nil {
+		return j.tune.Method
+	}
+	return j.Req.Method
+}
 
 // emit records ev in the ring and fans it out to subscribers without
 // blocking: a subscriber that falls behind loses progress events, never the
@@ -282,9 +320,10 @@ var (
 // popped (same operator, method, PC, s and tolerance) and run them as one
 // block solve. Lock order where locks nest: drainMu > mu > qmu.
 type Manager struct {
-	cfg Config
-	reg *Registry
-	met *Metrics
+	cfg   Config
+	reg   *Registry
+	met   *Metrics
+	tuner *Tuner
 
 	qmu      sync.Mutex
 	qcond    *sync.Cond
@@ -311,6 +350,7 @@ func NewManager(cfg Config, reg *Registry, met *Metrics) *Manager {
 		cfg:     cfg,
 		reg:     reg,
 		met:     met,
+		tuner:   NewTuner(met),
 		jobs:    map[string]*Job{},
 		byKey:   map[string]string{},
 		running: make(chan struct{}, cfg.Workers),
@@ -335,6 +375,9 @@ func (m *Manager) InFlight() int { return len(m.running) }
 
 // Workers returns the worker-pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Tuner returns the stability auto-selector backing method "auto".
+func (m *Manager) Tuner() *Tuner { return m.tuner }
 
 // Draining reports whether admissions are closed.
 func (m *Manager) Draining() bool {
@@ -366,6 +409,12 @@ func (m *Manager) Draining() bool {
 // `draining`, or observes it and is rejected — in both cases with its
 // side effects (registration, counters) already visible.
 func (m *Manager) Submit(req SolveRequest) (*Job, error) {
+	// AutoTuneDefault changes the empty-method default from the resilience
+	// ladder to the stability tuner; an explicit method always wins. Resolved
+	// before withDefaults so the latter's "ladder" fallback never fires.
+	if req.Method == "" && m.cfg.AutoTuneDefault {
+		req.Method = MethodAuto
+	}
 	req = req.withDefaults()
 
 	m.drainMu.Lock()
@@ -430,6 +479,17 @@ func (m *Manager) Submit(req SolveRequest) (*Job, error) {
 	return j, nil
 }
 
+// trim drops the oldest finished jobs beyond the retention bound. It runs on
+// every submission AND every job completion: trimLocked stops at a live
+// oldest job (never forget running work), so a backlog that finishes after
+// the last submission — every drain, every Kill — would otherwise retain
+// jobs and their idempotency keys past the bound forever.
+func (m *Manager) trim() {
+	m.mu.Lock()
+	m.trimLocked()
+	m.mu.Unlock()
+}
+
 // trimLocked drops the oldest finished jobs beyond the retention bound,
 // together with their idempotency keys.
 func (m *Manager) trimLocked() {
@@ -470,17 +530,22 @@ func (m *Manager) List() []*Job {
 }
 
 // coalescible reports whether a request may join a block solve: coalescing
-// runs on the sequential engine, so only single-rank jobs qualify.
-func coalescible(r SolveRequest) bool { return r.Ranks <= 1 }
+// runs on the sequential engine, so only single-rank jobs qualify. Auto jobs
+// never coalesce: the tuner resolves each one against the fingerprint record
+// at run time, so two queued auto jobs are not guaranteed to run the same
+// method — the one property a shared block solve cannot survive.
+func coalescible(r SolveRequest) bool { return r.Ranks <= 1 && r.Method != MethodAuto }
 
 // coalesceKey groups requests that can share one block solve: same operator,
-// method, preconditioner, s, tolerance and iteration budget. RHSSeed is
-// deliberately excluded — distinct right-hand sides are exactly what a block
-// solve batches — as are TimeoutMS (deadlines stay per job under the gang's
-// cancellation wrappers) and IncludeX/JobKey (response shaping).
+// method, preconditioner, s, tolerance, iteration budget and replacement
+// cadence (a gang shares one solver loop, so a per-column cadence cannot be
+// honored). RHSSeed is deliberately excluded — distinct right-hand sides are
+// exactly what a block solve batches — as are TimeoutMS (deadlines stay per
+// job under the gang's cancellation wrappers) and IncludeX/JobKey (response
+// shaping).
 func coalesceKey(r SolveRequest) string {
-	return fmt.Sprintf("%s|%s|%s|%d|%g|%d",
-		r.ProblemSpec.Key(), r.Method, r.PC, r.S, r.RelTol, r.MaxIter)
+	return fmt.Sprintf("%s|%s|%s|%d|%g|%d|%d",
+		r.ProblemSpec.Key(), r.Method, r.PC, r.S, r.RelTol, r.MaxIter, r.ReplaceEvery)
 }
 
 // stealLocked moves every pending job that coalesces with key into batch, in

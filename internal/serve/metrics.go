@@ -77,6 +77,10 @@ type Metrics struct {
 
 	fabricLeaks atomic.Int64 // comm-mode jobs whose fabric closed dirty (cancellation)
 
+	tunerRecords    atomic.Int64 // auto-job outcomes folded into fingerprint records
+	tunerWarmstarts atomic.Int64 // auto jobs resolved from a recorded fingerprint
+	tunerSwitches   atomic.Int64 // records written by a stability/efficiency switch
+
 	latency *histogram
 
 	mu      sync.Mutex
@@ -181,6 +185,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, mgr *Manager, reg *Registry) {
 	fmt.Fprintf(w, "solverd_registry_misses_total %d\n", m.cacheMisses.Load())
 	fmt.Fprintf(w, "solverd_registry_evictions_total %d\n", m.cacheEvictions.Load())
 	fmt.Fprintf(w, "solverd_fabric_leaks_total %d\n", m.fabricLeaks.Load())
+
+	fmt.Fprintf(w, "# HELP solverd_tuner_events_total Stability-tuner activity on method=auto jobs.\n")
+	fmt.Fprintf(w, "# TYPE solverd_tuner_events_total counter\n")
+	fmt.Fprintf(w, "solverd_tuner_events_total{kind=\"record\"} %d\n", m.tunerRecords.Load())
+	fmt.Fprintf(w, "solverd_tuner_events_total{kind=\"warmstart\"} %d\n", m.tunerWarmstarts.Load())
+	fmt.Fprintf(w, "solverd_tuner_events_total{kind=\"switch\"} %d\n", m.tunerSwitches.Load())
+	fmt.Fprintf(w, "# HELP solverd_tuner_fingerprints Operator fingerprints with a recorded best configuration.\n")
+	fmt.Fprintf(w, "# TYPE solverd_tuner_fingerprints gauge\n")
+	fmt.Fprintf(w, "solverd_tuner_fingerprints %d\n", mgr.tuner.Len())
 
 	fmt.Fprintf(w, "# TYPE solverd_request_seconds histogram\n")
 	m.latency.write(w, "solverd_request_seconds")

@@ -91,6 +91,12 @@ type Config struct {
 	// batches only what is already queued — pure backlog coalescing, no
 	// added latency.
 	CoalesceWindow time.Duration
+	// AutoTuneDefault changes the empty-method default from the resilience
+	// ladder to the stability tuner (method "auto"): an operator whose solves
+	// drift or stall is steered onto a residual-replacement configuration,
+	// and repeat jobs warm-start from the recorded fingerprint. An explicit
+	// method in the request always wins. cmd/solverd's -auto-tune flag.
+	AutoTuneDefault bool
 
 	// testHookBeforeRun, when set by in-package tests, runs in the worker
 	// just before a job executes — a deterministic way to hold the pool busy
