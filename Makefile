@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke cluster-chaos audit variant-audit timeline batch-smoke tier1
+.PHONY: all build test race vet bench bench-kernels perf chaos serve-smoke cluster-chaos audit variant-audit timeline batch-smoke trace-smoke tier1
 
 all: tier1
 
@@ -68,6 +68,18 @@ timeline:
 	$(GO) run ./cmd/timeline -o /tmp/repro-timeline.json
 	$(GO) run ./cmd/timeline -check /tmp/repro-timeline.json
 
+# Distributed-tracing smoke: a client-originated traced job through a real
+# solverouter against two real solverd shards, all four flight dumps
+# stitched into ONE Chrome trace (client submit → route → attempt → queue
+# wait → solve → per-rank phases) and validated for parent linkage, unique
+# span IDs, no orphans, and the per-rank phase floor — first in-process
+# under the race detector, then re-checked from the written artifact by the
+# standalone validator. The failover leg kills the primary mid-stream and
+# pins trace_id continuity across the retry.
+trace-smoke:
+	$(GO) test -race -run 'TestTraceSmoke|TestFailoverTracePropagation' -v -count=1 ./internal/cluster
+	$(GO) run ./cmd/timeline -check /tmp/repro-trace-smoke.json
+
 # Multi-RHS coalescing smoke: a real daemon with batching on, a burst of
 # seeded jobs behind a queue plug so the coalescer sees a full backlog,
 # per-job x_hash bit-identical to the unbatched baseline, batch-width
@@ -80,8 +92,8 @@ batch-smoke:
 # race detector over the concurrent packages, the chaos suite, the
 # solver-service smoke, the multi-RHS coalescing smoke, the inter-daemon
 # cluster chaos run, the differential audit sweep, the timeline export
-# smoke, and the hot-path kernel perf smoke.
-tier1: build vet test race chaos serve-smoke batch-smoke cluster-chaos audit variant-audit timeline perf
+# smoke, the distributed-tracing smoke, and the hot-path kernel perf smoke.
+tier1: build vet test race chaos serve-smoke batch-smoke cluster-chaos audit variant-audit timeline trace-smoke perf
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -45,8 +45,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -74,6 +76,7 @@ func main() {
 			"comma-separated problem specs, name[:param] (param = n for grids, scale for stand-ins)")
 		method    = flag.String("method", "", "solver method (empty = server default, the resilience ladder)")
 		pc        = flag.String("pc", "", "preconditioner (empty = server default)")
+		ranks     = flag.Int("ranks", 0, "solver ranks per job (0 = server default)")
 		timeoutMS = flag.Int("timeout-ms", 0, "per-job budget override in milliseconds")
 		retries   = flag.Int("retries", 8, "max backpressure (429/503) retries per job, honoring Retry-After")
 		retryCap  = flag.Duration("retry-cap", 2*time.Second, "upper bound on any single retry sleep")
@@ -81,6 +84,10 @@ func main() {
 			"cluster mode: idempotency-keyed jobs, transport-error resubmission, zero-lost-jobs assertion")
 		rhs = flag.Int("rhs", 0,
 			"multi-RHS burst mode: k seeded jobs solo then as one burst, asserting bit-identical x_hash")
+		traceOut = flag.String("trace-out", "",
+			"originate a trace per job (root client_submit span) and write the bench's flight dump to this file")
+		traceSeed = flag.Uint64("trace-seed", 0,
+			"seed for trace/span ID generation (0 = wall clock)")
 	)
 	flag.Parse()
 
@@ -97,11 +104,28 @@ func main() {
 
 	if *rhs > 1 {
 		req := specs[0]
-		req.Method, req.PC, req.TimeoutMS = *method, *pc, *timeoutMS
+		req.Method, req.PC, req.Ranks, req.TimeoutMS = *method, *pc, *ranks, *timeoutMS
 		if err := rhsBurst(cfg, req, *rhs); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	// With -trace-out every job originates a trace: a root client_submit span
+	// covering the job's full closed-loop lifetime (including backpressure
+	// retries), with the trace context carried in the request body so the
+	// router and shard spans parent under it. The bench's own spans land in a
+	// flight dump cmd/timeline -stitch merges with the server-side dumps.
+	var tracer *benchTracer
+	if *traceOut != "" {
+		seed := *traceSeed
+		if seed == 0 {
+			seed = uint64(time.Now().UnixNano())
+		}
+		tracer = &benchTracer{
+			ids:    obs.NewIDGen(seed),
+			flight: obs.NewFlightRecorder("solverbench", "", *clients**jobs, 16),
+		}
 	}
 
 	nonce := time.Now().UnixNano()
@@ -114,9 +138,15 @@ func main() {
 			defer wg.Done()
 			for k := 0; k < *jobs; k++ {
 				req := specs[(c+k)%len(specs)]
-				req.Method, req.PC, req.TimeoutMS = *method, *pc, *timeoutMS
+				req.Method, req.PC, req.Ranks, req.TimeoutMS = *method, *pc, *ranks, *timeoutMS
 				if cfg.cluster {
 					req.JobKey = fmt.Sprintf("bench-%x-%d-%d", nonce, c, k)
+				}
+				if tracer != nil {
+					done := tracer.begin(&req, fmt.Sprintf("c%d-j%d", c, k))
+					results[c].account(cfg, req)
+					done()
+					continue
 				}
 				results[c].account(cfg, req)
 			}
@@ -124,6 +154,13 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	if tracer != nil {
+		if err := tracer.write(*traceOut); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		fmt.Printf("  traces: %d client_submit spans written to %s\n", tracer.count(), *traceOut)
+	}
 
 	var total outcome
 	for _, r := range results {
@@ -159,6 +196,47 @@ func main() {
 			total.converged+total.canceled, submitted)
 		os.Exit(1)
 	}
+}
+
+// benchTracer originates one trace per bench job. begin stamps the request's
+// TraceParent with a fresh root context and returns the closure that records
+// the client_submit span (submission through final accounted outcome) into
+// the bench's flight recorder; write lands the dump for cmd/timeline -stitch.
+type benchTracer struct {
+	ids    *obs.IDGen
+	flight *obs.FlightRecorder
+	n      atomic.Int64
+}
+
+func (bt *benchTracer) begin(req *serve.SolveRequest, label string) func() {
+	tctx := bt.ids.NewTrace()
+	req.TraceParent = tctx.Traceparent()
+	start := time.Now()
+	return func() {
+		bt.n.Add(1)
+		bt.flight.RecordJob(obs.JobRecord{
+			Job:     label,
+			TraceID: tctx.TraceID.String(),
+			Outcome: "submitted",
+			Spans: []obs.TraceSpan{{
+				TraceID: tctx.TraceID.String(), SpanID: tctx.SpanID.String(),
+				Name: "client_submit", Service: "solverbench",
+				StartUnixNS: start.UnixNano(), EndUnixNS: time.Now().UnixNano(),
+				Attrs: map[string]string{"job": label},
+			}},
+			AnchorUnixNS: start.UnixNano(),
+		})
+	}
+}
+
+func (bt *benchTracer) count() int64 { return bt.n.Load() }
+
+func (bt *benchTracer) write(path string) error {
+	data, err := json.Marshal(bt.flight.Dump())
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // rhsBurst checks the multi-RHS coalescing path end to end against a live

@@ -55,6 +55,16 @@ func main() {
 			"how long a worker holding a coalescible job waits for more before solving (0 = no wait)")
 		autoTune = flag.Bool("auto-tune", false,
 			"requests without a method run under the stability tuner (method \"auto\") instead of the resilience ladder")
+		pprofMutex = flag.Int("pprof-mutex", 0,
+			"mutex profile fraction (runtime.SetMutexProfileFraction; 0 = off)")
+		pprofBlock = flag.Int("pprof-block", 0,
+			"block profile rate in ns (runtime.SetBlockProfileRate; 0 = off)")
+		flightDump = flag.String("flight-dump", "",
+			"write the flight recorder's JSON dump to this file on drain/shutdown")
+		traceSeed = flag.Uint64("trace-seed", 0,
+			"seed for trace/span ID generation (0 = wall clock; IDs only, never numerics)")
+		skewThreshold = flag.Float64("skew-threshold", 0,
+			"straggler score at or above which a multi-rank solve is flagged in the flight recorder (0 = default 0.25)")
 	)
 	flag.Parse()
 
@@ -74,6 +84,12 @@ func main() {
 		CoalesceWidth:   *batchWidth,
 		CoalesceWindow:  *batchWindow,
 		AutoTuneDefault: *autoTune,
+
+		MutexProfileFraction: *pprofMutex,
+		BlockProfileRate:     *pprofBlock,
+		FlightDumpPath:       *flightDump,
+		TraceSeed:            *traceSeed,
+		SkewThreshold:        *skewThreshold,
 	})
 	if *load != "" {
 		for _, path := range strings.Split(*load, ",") {

@@ -48,6 +48,10 @@ func main() {
 		brkN      = flag.Int("breaker-threshold", 3, "consecutive failures that open a shard's breaker")
 		brkOpen   = flag.Duration("breaker-open", 2*time.Second, "open interval before a breaker half-opens")
 		probe     = flag.Duration("probe", 500*time.Millisecond, "health probe interval per shard")
+		flightDump = flag.String("flight-dump", "",
+			"write the router flight recorder's JSON dump to this file on shutdown")
+		traceSeed = flag.Uint64("trace-seed", 0,
+			"seed for trace/span ID generation (0 = wall clock)")
 	)
 	flag.Parse()
 
@@ -63,6 +67,8 @@ func main() {
 		BreakerThreshold: *brkN,
 		BreakerOpenFor:   *brkOpen,
 		ProbeInterval:    *probe,
+		FlightDumpPath:   *flightDump,
+		TraceSeed:        *traceSeed,
 		Log:              slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	if err != nil {

@@ -11,10 +11,18 @@
 //     covers the recovery phase. Stagnation decisions depend only on
 //     globally reduced values, so every rank recovers at the same step.
 //
+// With -stitch the command instead merges flight-recorder dumps from every
+// hop of a routed solve — solverbench (-trace-out), solverouter and each
+// solverd (GET /v1/debug/flight or -flight-dump) — into ONE cross-process
+// Chrome trace: pid = hop (client, router, shard...), spans on tid 0, and
+// each shard's per-rank phase timelines on tid = rank, all on a shared wall
+// axis. -trace narrows the stitch to one trace ID.
+//
 // Usage:
 //
 //	timeline -o trace.json
 //	timeline -check trace.json   (validate an exported file and exit)
+//	timeline -stitch bench.json,router.json,s0.json,s1.json -trace <id> -o stitched.json
 package main
 
 import (
@@ -23,7 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -46,11 +54,19 @@ func main() {
 		hop    = flag.Duration("hop", 200*time.Microsecond, "injected per-hop fabric latency")
 		out    = flag.String("o", "timeline.json", "output trace file")
 		check  = flag.String("check", "", "validate an exported trace file and exit")
+		stitch = flag.String("stitch", "", "comma-separated flight-dump files to merge into one cross-process trace")
+		trace  = flag.String("trace", "", "with -stitch: keep only this trace ID")
 	)
 	flag.Parse()
 
 	if *check != "" {
 		if err := checkTrace(*check); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *stitch != "" {
+		if err := stitchDumps(*stitch, *trace, *out); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -143,10 +159,11 @@ func tracedSolve(pr bench.Problem, ranks int, hop time.Duration,
 	return sums, results[0], nil
 }
 
-// checkTrace validates an exported file: it must parse as a Chrome trace
-// document, every event must be a well-formed complete ("X") event, every
-// rank must have at least one span for every phase of the frozen enum, and
-// the overlap ledger must have ridden along.
+// checkTrace validates an exported file through obs.CheckChromeEvents: every
+// event must be a well-formed complete ("X") event, span trees (stitched
+// traces) must be intact — unique span IDs, no orphan parents, children
+// starting no earlier than their parents, at least one root — and phase
+// coverage plus the overlap ledger must have ridden along.
 func checkTrace(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -158,53 +175,52 @@ func checkTrace(path string) error {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("%s: not valid trace JSON: %v", path, err)
 	}
-	if len(doc.TraceEvents) == 0 {
-		return fmt.Errorf("%s: empty trace", path)
+	rep, err := obs.CheckChromeEvents(doc.TraceEvents)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
 	}
+	fmt.Printf("ok: %s\n", rep)
+	return nil
+}
 
-	phasesByRank := map[int]map[string]bool{}
-	reductions := 0
-	for i, ev := range doc.TraceEvents {
-		if ev.Ph != "X" {
-			return fmt.Errorf("event %d (%s): ph=%q, want complete event \"X\"", i, ev.Name, ev.Ph)
+// stitchDumps merges flight-recorder dumps from every hop of a routed solve
+// into one cross-process Chrome trace and writes it to outPath.
+func stitchDumps(list, traceID, outPath string) error {
+	var dumps []obs.FlightDump
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
 		}
-		if ev.TS < 0 || ev.Dur < 0 {
-			return fmt.Errorf("event %d (%s): negative ts/dur (%v/%v)", i, ev.Name, ev.TS, ev.Dur)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
 		}
-		switch ev.Cat {
-		case "phase":
-			m := phasesByRank[ev.TID]
-			if m == nil {
-				m = map[string]bool{}
-				phasesByRank[ev.TID] = m
-			}
-			m[ev.Name] = true
-		case "overlap":
-			reductions++
-		default:
-			return fmt.Errorf("event %d (%s): unknown category %q", i, ev.Name, ev.Cat)
+		var d obs.FlightDump
+		if err := json.Unmarshal(data, &d); err != nil {
+			return fmt.Errorf("%s: not a flight dump: %v", path, err)
 		}
+		dumps = append(dumps, d)
 	}
-
-	var missing []string
-	for rank, got := range phasesByRank {
-		// Only the core phases are required on every rank; block phases
-		// appear only when a multi-RHS gang ran, which the single-RHS
-		// timeline workloads never do.
-		for _, p := range obs.CorePhases() {
-			if !got[p.String()] {
-				missing = append(missing, fmt.Sprintf("rank %d: %s", rank, p))
-			}
-		}
+	events, err := obs.StitchDumps(dumps, traceID)
+	if err != nil {
+		return err
 	}
-	if len(missing) > 0 {
-		sort.Strings(missing)
-		return fmt.Errorf("%s: phases with no spans: %v", path, missing)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
 	}
-	if reductions == 0 {
-		return fmt.Errorf("%s: no reduction events in the overlap ledger", path)
+	if err := obs.FinishChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
 	}
-	fmt.Printf("ok: %d events, %d ranks, every core phase covered on every rank, %d reductions\n",
-		len(doc.TraceEvents), len(phasesByRank), reductions)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rep, err := obs.CheckChromeEvents(events)
+	if err != nil {
+		return fmt.Errorf("stitched trace failed validation: %v", err)
+	}
+	log.Printf("wrote %s from %d dumps (%s)", outPath, len(dumps), rep)
 	return nil
 }

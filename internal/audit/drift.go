@@ -43,6 +43,13 @@ type AuditParams struct {
 	// Tracing is strictly observational: a sweep must produce bit-identical
 	// iterates and ledgers with it on or off (TestAuditTraceInvariance).
 	Trace bool
+
+	// Flight additionally runs the full post-solve observability sink after
+	// a traced run — per-rank skew analysis over the summaries plus fabric
+	// transit attribution, folded into a throwaway flight recorder — so the
+	// sweep pins that the WHOLE pipeline (tracers, transit accounting, skew,
+	// flight) is bit-neutral (TestAuditFlightInvariance). Requires Trace.
+	Flight bool
 }
 
 // DefaultParams returns the acceptance-sweep tuning.

@@ -90,6 +90,10 @@ type Run struct {
 	Ledger trace.Counters
 	Drift  *DriftReport // nil when the spec cannot observe global iterates (comm P>1)
 	RelTol float64
+
+	// Skew is the per-rank straggler analysis, populated only on traced
+	// multi-rank runs with AuditParams.Flight set.
+	Skew *obs.SkewReport
 }
 
 // buildProblem resolves a config's problem including its operator axis, so
@@ -195,9 +199,12 @@ func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
 		pt := partition.RowBlockByNNZ(pr.A, ranks)
 		f := comm.NewFabric(ranks, 0)
 		engines := comm.NewEnginesOp(f, pr.A, pr.Operator(), pt, pcFactory(effectivePC(cfg)))
+		var tracers []*obs.Tracer
 		if ap.Trace {
+			tracers = make([]*obs.Tracer, ranks)
 			for r, e := range engines {
-				e.SetTracer(obs.New(r))
+				tracers[r] = obs.New(r)
+				e.SetTracer(tracers[r])
 			}
 		}
 		bs := comm.Scatter(pt, pr.B)
@@ -228,6 +235,31 @@ func Execute(cfg Config, spec EngineSpec, ap AuditParams) (*Run, error) {
 			xs[r] = results[r].X
 		}
 		run.Res, run.X, run.Ledger = results[0], comm.Gather(pt, xs), ledger
+
+		// The full observability sink, mirroring solverd's post-solve path:
+		// skew over the rank summaries with fabric transit attribution, the
+		// record folded into a (discarded) flight recorder. All of it reads
+		// finished state, so the iterates above must be unaffected.
+		if ap.Flight && tracers != nil && ranks > 1 {
+			sums := make([]obs.Summary, ranks)
+			for r, tr := range tracers {
+				sums[r] = tr.Summary()
+			}
+			transit := f.TransitStats()
+			transitNS := make([]int64, ranks)
+			for r := range transitNS {
+				transitNS[r] = transit[r].MeanNS()
+			}
+			skew := obs.AnalyzeSkewTransit(sums, transitNS)
+			run.Skew = &skew
+			fr := obs.NewFlightRecorder("audit", spec.String(), 4, 4)
+			fr.RecordJob(obs.JobRecord{
+				Job:     cfg.String(),
+				Outcome: "converged",
+				Ranks:   sums,
+			})
+			_ = fr.Dump()
+		}
 		return run, nil
 	}
 	return nil, fmt.Errorf("audit: unknown engine kind %q", spec.Kind)

@@ -11,6 +11,55 @@ import (
 // executed with and without tracers attached, on both a bit-group spec and
 // a multi-rank comm spec, must produce bit-identical iterates, iteration
 // counts and counter ledgers.
+// TestAuditFlightInvariance extends the observational contract to the whole
+// PR 10 pipeline: 50 generated configs executed at P=4 with tracing, transit
+// attribution, skew analysis, and flight recording all live must produce
+// bit-identical iterates, iteration counts and ledgers to the bare runs —
+// and every traced run must actually have produced a skew report.
+func TestAuditFlightInvariance(t *testing.T) {
+	spec := EngineSpec{Kind: "comm", Ranks: 4, Pool: runtime.NumCPU()}
+	ap := DefaultParams()
+	ap.MaxIter = 400
+
+	for _, cfg := range Generate(acceptanceSeed, 50) {
+		plain, perr := Execute(cfg, spec, ap)
+
+		full := ap
+		full.Trace = true
+		full.Flight = true
+		obsRun, oerr := Execute(cfg, spec, full)
+
+		if (perr == nil) != (oerr == nil) {
+			t.Fatalf("%s: error changed with flight pipeline: %v vs %v", cfg, perr, oerr)
+		}
+		if perr != nil {
+			continue
+		}
+		if plain.Res.Iterations != obsRun.Res.Iterations {
+			t.Fatalf("%s: iterations %d vs %d with flight pipeline",
+				cfg, plain.Res.Iterations, obsRun.Res.Iterations)
+		}
+		for i := range plain.X {
+			if plain.X[i] != obsRun.X[i] {
+				t.Fatalf("%s: x[%d] = %g vs %g with flight pipeline", cfg, i, plain.X[i], obsRun.X[i])
+			}
+		}
+		if !reflect.DeepEqual(plain.Ledger, obsRun.Ledger) {
+			t.Fatalf("%s: counter ledger changed with flight pipeline:\n%+v\n%+v",
+				cfg, plain.Ledger, obsRun.Ledger)
+		}
+		if plain.Skew != nil {
+			t.Fatalf("%s: bare run unexpectedly produced a skew report", cfg)
+		}
+		if obsRun.Skew == nil {
+			t.Fatalf("%s: flight run produced no skew report", cfg)
+		}
+		if len(obsRun.Skew.Ranks) != spec.Ranks || obsRun.Skew.StragglerRank < 0 {
+			t.Fatalf("%s: malformed skew report %+v", cfg, obsRun.Skew)
+		}
+	}
+}
+
 func TestAuditTraceInvariance(t *testing.T) {
 	ncpu := runtime.NumCPU()
 	specs := []EngineSpec{

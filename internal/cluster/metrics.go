@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // handleMetrics renders the router's Prometheus plane, following the PR-3
@@ -82,6 +84,8 @@ func (rt *Router) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP cluster_upload_replicas_total Successful upload replica writes.\n")
 	fmt.Fprintf(w, "# TYPE cluster_upload_replicas_total counter\n")
 	fmt.Fprintf(w, "cluster_upload_replicas_total %d\n", rt.met.uploadRepl.Load())
+
+	obs.WriteGoRuntimeMetrics(w, "cluster")
 }
 
 func b2i(b bool) int {

@@ -11,9 +11,12 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ShardConfig names one solverd shard and where to reach it.
@@ -61,6 +64,18 @@ type RouterConfig struct {
 	// black-holed shard costs a bounded stall before its breaker opens.
 	// Default 2 s.
 	DialTimeout time.Duration
+	// TraceSeed seeds the router's splitmix64 trace/span ID generator. Zero
+	// (the default) seeds from the wall clock; tests set it for reproducible
+	// IDs. Routing behavior never depends on this stream.
+	TraceSeed uint64
+	// FlightJobs / FlightEvents bound the router's flight recorder — the ring
+	// of recent routed submissions (route + per-attempt spans) and structured
+	// events (shard up/down transitions, failovers). Defaults 256 / 1024.
+	FlightJobs   int
+	FlightEvents int
+	// FlightDumpPath, when set, writes the flight recorder's JSON dump to
+	// this file when the router closes — cmd/solverouter's -flight-dump flag.
+	FlightDumpPath string
 	// Log receives router logs. Nil means slog.Default().
 	Log *slog.Logger
 }
@@ -136,6 +151,12 @@ type Router struct {
 	met   routerCounters
 	retry *retrier
 
+	// ids mints trace/span IDs for routed submissions; flight keeps the
+	// recent route traces and shard-health transitions for postmortems
+	// (GET /v1/debug/flight, dumped to disk on Close when configured).
+	ids    *obs.IDGen
+	flight *obs.FlightRecorder
+
 	keyNonce int64         // boot nonce for generated idempotency keys
 	keySeq   atomic.Uint64 // per-boot sequence
 
@@ -162,6 +183,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, fmt.Errorf("cluster: router needs at least one shard")
 	}
+	traceSeed := cfg.TraceSeed
+	if traceSeed == 0 {
+		traceSeed = uint64(time.Now().UnixNano())
+	}
 	rt := &Router{
 		cfg:      cfg,
 		log:      cfg.Log,
@@ -169,6 +194,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		shards:   map[string]*shard{},
 		mux:      http.NewServeMux(),
 		retry:    newRetrier(cfg.Retry),
+		ids:      obs.NewIDGen(traceSeed),
+		flight:   obs.NewFlightRecorder("solverouter", "", cfg.FlightJobs, cfg.FlightEvents),
 		keyNonce: time.Now().UnixNano(),
 		stop:     make(chan struct{}),
 	}
@@ -206,11 +233,41 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	return rt, nil
 }
 
-// Close stops the health probers and releases idle upstream connections.
+// Close stops the health probers, releases idle upstream connections, and —
+// when FlightDumpPath is set — writes the flight recorder's postmortem dump.
 func (rt *Router) Close() {
-	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.stopOnce.Do(func() {
+		close(rt.stop)
+		rt.wg.Wait()
+		rt.transport.CloseIdleConnections()
+		rt.dumpFlight()
+	})
 	rt.wg.Wait()
-	rt.transport.CloseIdleConnections()
+}
+
+// Flight exposes the router's flight recorder (GET /v1/debug/flight and the
+// trace-smoke stitcher read it).
+func (rt *Router) Flight() *obs.FlightRecorder { return rt.flight }
+
+// dumpFlight records the shutdown and writes the dump to disk when
+// configured. Best effort: a write failure is logged, never fatal.
+func (rt *Router) dumpFlight() {
+	rt.flight.RecordEvent(obs.FlightEvent{
+		UnixNS: time.Now().UnixNano(), Kind: "shutdown",
+		Attrs: map[string]string{"reason": "close"},
+	})
+	if rt.cfg.FlightDumpPath == "" {
+		return
+	}
+	data, err := json.Marshal(rt.flight.Dump())
+	if err == nil {
+		err = os.WriteFile(rt.cfg.FlightDumpPath, data, 0o644)
+	}
+	if err != nil {
+		rt.log.Error("cluster: flight dump failed", "path", rt.cfg.FlightDumpPath, "error", err)
+		return
+	}
+	rt.log.Info("cluster: flight dump written", "path", rt.cfg.FlightDumpPath)
 }
 
 // Handler returns the router's HTTP handler (for tests and embedding).
@@ -248,6 +305,10 @@ func (rt *Router) probeOnce(sh *shard) {
 		sh.breaker.Failure()
 		if wasUp {
 			rt.log.Warn("cluster: shard down", "shard", sh.name, "error", err)
+			rt.flight.RecordEvent(obs.FlightEvent{
+				UnixNS: time.Now().UnixNano(), Kind: "shard_down",
+				Attrs: map[string]string{"shard": sh.name, "error": err.Error()},
+			})
 		}
 		return
 	}
@@ -258,6 +319,10 @@ func (rt *Router) probeOnce(sh *shard) {
 	resp.Body.Close()
 	if !sh.up.Swap(true) {
 		rt.log.Info("cluster: shard up", "shard", sh.name, "status", body.Status)
+		rt.flight.RecordEvent(obs.FlightEvent{
+			UnixNS: time.Now().UnixNano(), Kind: "shard_up",
+			Attrs: map[string]string{"shard": sh.name, "status": body.Status},
+		})
 	}
 	sh.draining.Store(body.Status == "draining" || resp.StatusCode == http.StatusServiceUnavailable)
 	sh.breaker.Success() // it answered; the breaker tracks liveness, not load

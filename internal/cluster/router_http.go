@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -40,8 +42,15 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /v1/matrices", rt.handleMatrices)
 	rt.mux.HandleFunc("PUT /v1/matrices/{name}", rt.handleUpload)
 	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("GET /v1/debug/flight", rt.handleFlight)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+}
+
+// handleFlight serves the router's flight-recorder dump: the recent routed
+// submissions (route + per-attempt spans) and shard-health transitions.
+func (rt *Router) handleFlight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.flight.Dump())
 }
 
 // handleSolve is the routed submission path, sync (/v1/solve, optionally
@@ -93,6 +102,42 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request, upstreamPa
 		pathAndQuery += "?" + r.URL.RawQuery
 	}
 
+	// Join the caller's trace (body field wins over the W3C header) or
+	// originate one. The route span covers the whole routed submission; each
+	// upstream try below becomes a child attempt span, and the attempt's own
+	// context is pinned into the re-marshaled body so the serving shard's job
+	// span parents under the attempt that actually reached it.
+	if req.TraceParent == "" {
+		req.TraceParent = r.Header.Get("traceparent")
+	}
+	var routeCtx obs.TraceContext
+	routeParent := ""
+	if parent, ok := obs.ParseTraceparent(req.TraceParent); ok {
+		routeCtx = rt.ids.Child(parent)
+		routeParent = parent.SpanID.String()
+	} else {
+		routeCtx = rt.ids.NewTrace()
+	}
+	w.Header().Set("X-Trace-Id", routeCtx.TraceID.String())
+	routeStart := time.Now()
+	routeOutcome := "unavailable"
+	var attemptSpans []obs.TraceSpan
+	defer func() {
+		spans := make([]obs.TraceSpan, 0, 1+len(attemptSpans))
+		spans = append(spans, obs.TraceSpan{
+			TraceID: routeCtx.TraceID.String(), SpanID: routeCtx.SpanID.String(),
+			ParentID: routeParent, Name: "route", Service: "solverouter",
+			StartUnixNS: routeStart.UnixNano(), EndUnixNS: time.Now().UnixNano(),
+			Attrs: map[string]string{"job_key": req.JobKey, "outcome": routeOutcome},
+		})
+		spans = append(spans, attemptSpans...)
+		rt.flight.RecordJob(obs.JobRecord{
+			Job: req.JobKey, TraceID: routeCtx.TraceID.String(),
+			Outcome: routeOutcome, Spans: spans,
+			AnchorUnixNS: routeStart.UnixNano(),
+		})
+	}()
+
 	ctx := r.Context()
 	attempts := 0
 	resubmitted := false
@@ -104,12 +149,43 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request, upstreamPa
 			break // nothing accepting; fall through to 503
 		}
 		attempts++
-		resp, err := rt.send(ctx, sh, http.MethodPost, pathAndQuery, body)
+		// Each try gets its own span context: the body is re-marshaled with
+		// the attempt's traceparent (send() adds no headers) so a retried job
+		// carries the SAME trace_id but a fresh attempt span — exactly what
+		// X-Cluster-Attempts counts.
+		aCtx := rt.ids.Child(routeCtx)
+		req.TraceParent = aCtx.Traceparent()
+		abody, merr := json.Marshal(req)
+		if merr != nil {
+			abody = body // can't happen for SolveRequest; fall back untagged
+		}
+		aStart := time.Now()
+		endAttempt := func(outcome string) {
+			attemptSpans = append(attemptSpans, obs.TraceSpan{
+				TraceID: routeCtx.TraceID.String(), SpanID: aCtx.SpanID.String(),
+				ParentID: routeCtx.SpanID.String(), Name: "attempt", Service: "solverouter",
+				StartUnixNS: aStart.UnixNano(), EndUnixNS: time.Now().UnixNano(),
+				Attrs: map[string]string{
+					"attempt": fmt.Sprintf("%d", attempts),
+					"shard":   sh.name, "outcome": outcome,
+				},
+			})
+		}
+		resp, err := rt.send(ctx, sh, http.MethodPost, pathAndQuery, abody)
 		if err != nil {
+			endAttempt("transport_error")
 			sh.breaker.Failure()
 			sh.up.Store(false)
 			rt.log.Warn("cluster: submit failed, failing over",
 				"shard", sh.name, "key", req.JobKey, "attempt", attempts, "error", err)
+			rt.flight.RecordEvent(obs.FlightEvent{
+				UnixNS: time.Now().UnixNano(), Kind: "failover",
+				TraceID: routeCtx.TraceID.String(),
+				Attrs: map[string]string{
+					"shard": sh.name, "job_key": req.JobKey,
+					"attempt": fmt.Sprintf("%d", attempts),
+				},
+			})
 			if try+1 < maxAttempts {
 				rt.met.retries.Add(1)
 				if !resubmitted {
@@ -126,10 +202,13 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request, upstreamPa
 		case http.StatusServiceUnavailable:
 			// Draining (or just-shut-down) shard: clean refusal, try the
 			// next replica without charging the breaker.
+			endAttempt("draining")
 			resp.Body.Close()
 			sh.draining.Store(true)
 			continue
 		case http.StatusTooManyRequests:
+			endAttempt("rejected")
+			routeOutcome = "rejected"
 			rt.met.rejected.Add(1)
 			sh.breaker.Success()
 			rt.relayBuffered(w, resp, sh, attempts)
@@ -141,13 +220,24 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request, upstreamPa
 		if stream {
 			done := rt.relayStream(w, resp, sh, &committed)
 			if done {
+				endAttempt("ok")
+				routeOutcome = "ok"
 				sh.breaker.Success()
 				return
 			}
 			// Upstream died mid-stream: resubmit the same key and keep
 			// appending the replacement job's events to the open response.
+			endAttempt("stream_lost")
 			sh.breaker.Failure()
 			sh.up.Store(false)
+			rt.flight.RecordEvent(obs.FlightEvent{
+				UnixNS: time.Now().UnixNano(), Kind: "failover",
+				TraceID: routeCtx.TraceID.String(),
+				Attrs: map[string]string{
+					"shard": sh.name, "job_key": req.JobKey,
+					"attempt": fmt.Sprintf("%d", attempts), "phase": "stream",
+				},
+			})
 			if try+1 < maxAttempts {
 				rt.met.retries.Add(1)
 				if !resubmitted {
@@ -164,10 +254,13 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request, upstreamPa
 		}
 		ok := rt.relayBuffered(w, resp, sh, attempts)
 		if ok {
+			endAttempt("ok")
+			routeOutcome = "ok"
 			sh.breaker.Success()
 			return
 		}
 		// Body read failed before anything was committed: retry.
+		endAttempt("relay_failed")
 		sh.breaker.Failure()
 		sh.up.Store(false)
 		if try+1 < maxAttempts {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -121,6 +122,49 @@ type Fabric struct {
 	sent    map[sentKey][]float64 // pristine payloads until acked
 	status  []rankStatus
 	stats   []FaultStats
+
+	// transit accumulates, per SOURCE rank, the message count and total
+	// modeled transit latency (hop + injected fault delay) of its sends —
+	// the receiver-side observable a per-rank skew detector needs to pin a
+	// network straggler whose sends arrive late (a real MPI port would
+	// timestamp messages; this fabric knows the delay it models). Values are
+	// deterministic under a seeded fault config: no wall clock is read.
+	transit []transitCell
+}
+
+// transitCell is one source rank's send-transit accumulator.
+type transitCell struct {
+	msgs    atomic.Int64
+	delayNS atomic.Int64
+}
+
+// Transit is the per-source send-latency aggregate returned by TransitStats.
+type Transit struct {
+	Msgs    int64 // messages sent by this rank
+	DelayNS int64 // total modeled transit latency its messages incurred
+}
+
+// MeanNS is the average modeled transit latency per message, 0 when the rank
+// sent nothing.
+func (t Transit) MeanNS() int64 {
+	if t.Msgs == 0 {
+		return 0
+	}
+	return t.DelayNS / t.Msgs
+}
+
+// TransitStats reports, per source rank, how many messages it sent and the
+// total modeled transit latency those messages incurred — the attribution
+// signal for send-delayed stragglers (obs.AnalyzeSkewTransit).
+func (f *Fabric) TransitStats() []Transit {
+	out := make([]Transit, f.p)
+	for r := range out {
+		out[r] = Transit{
+			Msgs:    f.transit[r].msgs.Load(),
+			DelayNS: f.transit[r].delayNS.Load(),
+		}
+	}
+	return out
 }
 
 // NewFabric creates a fabric for p ranks with the given per-hop injected
@@ -131,10 +175,11 @@ func NewFabric(p int, hopLatency time.Duration) *Fabric {
 	}
 	f := &Fabric{
 		p: p, hopLatency: hopLatency,
-		boxes:  make([]*mailbox, p),
-		timers: map[int]*time.Timer{},
-		status: make([]rankStatus, p),
-		stats:  make([]FaultStats, p),
+		boxes:   make([]*mailbox, p),
+		timers:  map[int]*time.Timer{},
+		status:  make([]rankStatus, p),
+		stats:   make([]FaultStats, p),
+		transit: make([]transitCell, p),
 	}
 	for i := range f.boxes {
 		f.boxes[i] = &mailbox{m: map[key]chan []float64{}}
@@ -264,6 +309,8 @@ func (f *Fabric) send(from, to, kind, seq int, data []float64) {
 		}
 	}
 	delay := f.hopLatency + dec.delay
+	f.transit[from].msgs.Add(1)
+	f.transit[from].delayNS.Add(int64(delay))
 	f.deliver(to, k, wire, delay)
 	if dec.dup {
 		f.deliver(to, k, wire, delay+delay/2)

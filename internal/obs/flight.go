@@ -1,0 +1,146 @@
+package obs
+
+// Flight recorder: a bounded in-memory ring of recently completed job
+// traces plus structured events, kept by every daemon and router so a
+// postmortem after a chaos kill does not depend on having scraped /metrics
+// or held an NDJSON stream open at the right moment. Dumped on demand
+// (GET /v1/debug/flight) and automatically on drain/Kill.
+//
+// Like the Tracer, the recorder is purely observational: it stores copies,
+// never blocks the solve path beyond a short mutex, and a nil *FlightRecorder
+// is a valid no-op receiver so "flight recording off" needs no branches at
+// call sites. Timestamps are supplied by callers (wall-clock Unix
+// nanoseconds in production, fixed values in tests) — the recorder itself
+// never reads a clock.
+
+import "sync"
+
+// JobRecord is one completed job's trace as a participant saw it: the spans
+// that participant owns, plus — on the daemon that ran the solve — the
+// per-rank obs summaries and the wall-clock instant their tracer clocks were
+// anchored at, which is what lets the stitcher place rank-relative phase
+// events on the cross-process axis.
+type JobRecord struct {
+	Job          string      `json:"job,omitempty"`
+	TraceID      string      `json:"trace_id"`
+	Outcome      string      `json:"outcome,omitempty"`
+	Spans        []TraceSpan `json:"spans,omitempty"`
+	SolveSpanID  string      `json:"solve_span_id,omitempty"`
+	AnchorUnixNS int64       `json:"anchor_unix_ns,omitempty"`
+	Ranks        []Summary   `json:"ranks,omitempty"`
+}
+
+// FlightEvent is one structured moment worth keeping for a postmortem:
+// a failover, a breaker trip, a skew alert, a drain.
+type FlightEvent struct {
+	UnixNS  int64             `json:"unix_ns"`
+	Kind    string            `json:"kind"`
+	TraceID string            `json:"trace_id,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// FlightDump is the serialized recorder state: what GET /v1/debug/flight
+// returns and what drain/Kill writes to disk. Jobs and Events are oldest
+// first.
+type FlightDump struct {
+	Service       string        `json:"service"`
+	Shard         string        `json:"shard,omitempty"`
+	Jobs          []JobRecord   `json:"jobs"`
+	Events        []FlightEvent `json:"events"`
+	DroppedJobs   int64         `json:"dropped_jobs,omitempty"`
+	DroppedEvents int64         `json:"dropped_events,omitempty"`
+}
+
+// FlightRecorder holds the rings. Zero-capacity arguments fall back to the
+// defaults below.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	service string
+	shard   string
+
+	jobs     []JobRecord
+	jNext    int
+	jCount   int
+	jDropped int64
+
+	events   []FlightEvent
+	eNext    int
+	eCount   int
+	eDropped int64
+}
+
+const (
+	defaultFlightJobs   = 256
+	defaultFlightEvents = 1024
+)
+
+// NewFlightRecorder builds a recorder for one participant. service names the
+// hop ("solverbench", "solverouter", "solverd"); shard is the daemon's shard
+// identity, empty elsewhere.
+func NewFlightRecorder(service, shard string, jobCap, eventCap int) *FlightRecorder {
+	if jobCap <= 0 {
+		jobCap = defaultFlightJobs
+	}
+	if eventCap <= 0 {
+		eventCap = defaultFlightEvents
+	}
+	return &FlightRecorder{
+		service: service,
+		shard:   shard,
+		jobs:    make([]JobRecord, jobCap),
+		events:  make([]FlightEvent, eventCap),
+	}
+}
+
+// RecordJob appends one completed job trace, evicting the oldest when full.
+// No-op on a nil recorder.
+func (f *FlightRecorder) RecordJob(jr JobRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.jobs[f.jNext] = jr
+	f.jNext = (f.jNext + 1) % len(f.jobs)
+	if f.jCount < len(f.jobs) {
+		f.jCount++
+	} else {
+		f.jDropped++
+	}
+	f.mu.Unlock()
+}
+
+// RecordEvent appends one structured event, evicting the oldest when full.
+// No-op on a nil recorder.
+func (f *FlightRecorder) RecordEvent(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.events[f.eNext] = ev
+	f.eNext = (f.eNext + 1) % len(f.events)
+	if f.eCount < len(f.events) {
+		f.eCount++
+	} else {
+		f.eDropped++
+	}
+	f.mu.Unlock()
+}
+
+// Dump snapshots the recorder, oldest entries first. Safe on a nil
+// recorder (returns an empty dump).
+func (f *FlightRecorder) Dump() FlightDump {
+	if f == nil {
+		return FlightDump{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := FlightDump{
+		Service:       f.service,
+		Shard:         f.shard,
+		Jobs:          unring(f.jobs, f.jNext, f.jCount),
+		Events:        unring(f.events, f.eNext, f.eCount),
+		DroppedJobs:   f.jDropped,
+		DroppedEvents: f.eDropped,
+	}
+	return d
+}

@@ -1,0 +1,55 @@
+package obs
+
+// Shared Prometheus helpers for the process-level series both daemons
+// (solverd, solverouter) expose: build identity and Go runtime health.
+// Hand-rolled text format 0.0.4, same as the rest of the metrics planes —
+// no client library dependency.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// buildVersion resolves the module version embedded by the Go toolchain;
+// "(devel)" for plain `go build`/`go test` trees, which is exactly what the
+// label should say there.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// WriteGoRuntimeMetrics writes `<prefix>_build_info` plus Go runtime gauges
+// (goroutines, GC pauses and cycles, heap) in stable order. Callers append
+// it to their own metrics plane under their own prefix.
+func WriteGoRuntimeMetrics(w io.Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	fmt.Fprintf(w, "# HELP %s_build_info Build identity; the value is always 1.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_build_info gauge\n", prefix)
+	fmt.Fprintf(w, "%s_build_info{version=%q,go_version=%q} 1\n", prefix, buildVersion(), runtime.Version())
+
+	fmt.Fprintf(w, "# HELP %s_goroutines Current number of goroutines.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_goroutines gauge\n", prefix)
+	fmt.Fprintf(w, "%s_goroutines %d\n", prefix, runtime.NumGoroutine())
+
+	fmt.Fprintf(w, "# HELP %s_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_gc_pause_seconds_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_gc_pause_seconds_total %g\n", prefix, float64(ms.PauseTotalNs)/1e9)
+
+	fmt.Fprintf(w, "# HELP %s_gc_cycles_total Completed GC cycles.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_gc_cycles_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_gc_cycles_total %d\n", prefix, ms.NumGC)
+
+	fmt.Fprintf(w, "# HELP %s_heap_alloc_bytes Bytes of allocated heap objects.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_heap_alloc_bytes gauge\n", prefix)
+	fmt.Fprintf(w, "%s_heap_alloc_bytes %d\n", prefix, ms.HeapAlloc)
+
+	fmt.Fprintf(w, "# HELP %s_heap_sys_bytes Bytes of heap obtained from the OS.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_heap_sys_bytes gauge\n", prefix)
+	fmt.Fprintf(w, "%s_heap_sys_bytes %d\n", prefix, ms.HeapSys)
+}

@@ -1,0 +1,158 @@
+package obs
+
+// Per-rank skew detection over the obs phase aggregates. The heterogeneous
+// follow-up (Tiwari & Vadhiyar) and the strong-scaling pipelining analysis
+// (Cools et al.) both attribute lost overlap to per-rank imbalance: one
+// slow rank drags every reduction and halo exchange. This analyzer turns a
+// solve's per-rank summaries into a straggler score so the serve plane can
+// export `solverd_rank_skew` and the flight recorder can flag the solve.
+//
+// The score direction matters. A rank that is slow because its *sends* are
+// delayed (the PR 2 straggler-jitter injector, an overloaded NIC) barely
+// waits itself — it is everyone ELSE that accumulates halo_wait and
+// allreduce_wait stalls blocked on its messages. A rank that is slow
+// because it has more work (nnz imbalance) shows excess compute time. So a
+// rank is suspicious when it waits LESS than its peers (wait deficit)
+// and/or computes LONGER than its peers (compute excess):
+//
+//	score_r = max(0, (C_r − C̄)/C̄) + max(0, (W̄ − W_r)/W̄) + max(0, (T_r − T̄)/T̄)
+//
+// where C_r is rank r's non-waiting span time (spmv, pc_apply, dots, gram,
+// recurrence — the Tracer's overlap clock inputs) and W_r its stalled time
+// (allreduce_wait + halo_wait). A perfectly balanced solve scores ~0 on
+// every rank; an injected straggler scores near 1 while its victims stay
+// near 0.
+//
+// The compute/wait terms alone cannot always pin a SEND-delayed straggler:
+// in a tightly synchronized iteration one rank's late messages stall every
+// rank almost equally (the cascade smears the wait signal across peers). The
+// attribution that survives the cascade is transit latency by SOURCE rank —
+// how late rank r's messages arrive at their receivers — which the comm
+// fabric measures deterministically (comm.Fabric.TransitStats) and a real
+// MPI port would recover from message timestamps. AnalyzeSkewTransit folds
+// that in as T_r, the mean per-message transit of rank r's sends; a rank
+// whose sends are jittered carries a mean transit excess no cascade can
+// redistribute. AnalyzeSkew without transit data scores on compute and wait
+// alone (T̄ = 0 disables the term).
+
+import "sort"
+
+// RankSkew is one rank's share of the solve and its straggler score.
+type RankSkew struct {
+	Rank int `json:"rank"`
+
+	// Raw per-rank totals (nanoseconds) driving the score.
+	ComputeNS       int64 `json:"compute_ns"`
+	WaitNS          int64 `json:"wait_ns"`
+	SpMVNS          int64 `json:"spmv_ns"`
+	HaloWaitNS      int64 `json:"halo_wait_ns"`
+	AllreduceWaitNS int64 `json:"allreduce_wait_ns"`
+
+	// SendTransitNS is the mean modeled transit latency per message this
+	// rank SENT (0 when no transit data was supplied) — the send-side
+	// straggler attribution.
+	SendTransitNS int64 `json:"send_transit_ns,omitempty"`
+
+	// ComputeExcess is (C_r − C̄)/C̄ clamped at 0; WaitDeficit is
+	// (W̄ − W_r)/W̄ clamped at 0; TransitExcess is (T_r − T̄)/T̄ clamped
+	// at 0. Score is their sum.
+	ComputeExcess float64 `json:"compute_excess"`
+	WaitDeficit   float64 `json:"wait_deficit"`
+	TransitExcess float64 `json:"transit_excess,omitempty"`
+	Score         float64 `json:"score"`
+}
+
+// SkewReport is the per-solve skew analysis.
+type SkewReport struct {
+	Ranks []RankSkew `json:"ranks"`
+
+	// StragglerRank is the rank with the highest score (lowest rank wins
+	// ties), or -1 when fewer than two ranks were analyzed.
+	StragglerRank int     `json:"straggler_rank"`
+	MaxScore      float64 `json:"max_score"`
+
+	// Imbalance is max(C_r)/mean(C_r): the classic compute load-balance
+	// ratio, 1.0 when perfectly balanced.
+	Imbalance float64 `json:"imbalance"`
+}
+
+// AnalyzeSkew scores each rank of one solve from its obs summaries alone
+// (no transit attribution). The input order is irrelevant (summaries are
+// keyed by their Rank field); fewer than two summaries yields an empty
+// report with StragglerRank -1, since skew is meaningless for a sequential
+// solve.
+func AnalyzeSkew(sums []Summary) SkewReport { return AnalyzeSkewTransit(sums, nil) }
+
+// AnalyzeSkewTransit scores each rank of one solve from its obs summaries
+// plus the per-SOURCE mean message transit latency (nanoseconds, indexed by
+// rank — comm.Fabric.TransitStats().MeanNS per rank). transitNS may be nil
+// or mismatched in length, which disables the transit term.
+func AnalyzeSkewTransit(sums []Summary, transitNS []int64) SkewReport {
+	rep := SkewReport{StragglerRank: -1}
+	if len(sums) < 2 {
+		return rep
+	}
+	if len(transitNS) != len(sums) {
+		transitNS = nil
+	}
+	ranks := make([]RankSkew, 0, len(sums))
+	var cTot, wTot, tTot int64
+	for _, s := range sums {
+		rs := RankSkew{Rank: s.Rank}
+		for p := Phase(0); p < NumPhases; p++ {
+			ns := s.Phases[p].TotalNS
+			if p.waiting() {
+				rs.WaitNS += ns
+			} else {
+				rs.ComputeNS += ns
+			}
+		}
+		rs.SpMVNS = s.Phases[PhaseSpMV].TotalNS
+		rs.HaloWaitNS = s.Phases[PhaseHaloWait].TotalNS
+		rs.AllreduceWaitNS = s.Phases[PhaseAllreduceWait].TotalNS
+		if transitNS != nil && s.Rank >= 0 && s.Rank < len(transitNS) {
+			rs.SendTransitNS = transitNS[s.Rank]
+		}
+		cTot += rs.ComputeNS
+		wTot += rs.WaitNS
+		tTot += rs.SendTransitNS
+		ranks = append(ranks, rs)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i].Rank < ranks[j].Rank })
+
+	cMean := float64(cTot) / float64(len(ranks))
+	wMean := float64(wTot) / float64(len(ranks))
+	tMean := float64(tTot) / float64(len(ranks))
+	var cMax float64
+	for i := range ranks {
+		r := &ranks[i]
+		if c := float64(r.ComputeNS); c > cMax {
+			cMax = c
+		}
+		if cMean > 0 {
+			if ex := (float64(r.ComputeNS) - cMean) / cMean; ex > 0 {
+				r.ComputeExcess = ex
+			}
+		}
+		if wMean > 0 {
+			if def := (wMean - float64(r.WaitNS)) / wMean; def > 0 {
+				r.WaitDeficit = def
+			}
+		}
+		if tMean > 0 {
+			if ex := (float64(r.SendTransitNS) - tMean) / tMean; ex > 0 {
+				r.TransitExcess = ex
+			}
+		}
+		r.Score = r.ComputeExcess + r.WaitDeficit + r.TransitExcess
+		if rep.StragglerRank < 0 || r.Score > rep.MaxScore {
+			rep.StragglerRank = r.Rank
+			rep.MaxScore = r.Score
+		}
+	}
+	if cMean > 0 {
+		rep.Imbalance = cMax / cMean
+	}
+	rep.Ranks = ranks
+	return rep
+}

@@ -1,0 +1,147 @@
+package obs
+
+// Distributed trace context: W3C-traceparent-compatible trace/span IDs so a
+// request can be followed across solverbench → solverouter → solverd → the
+// per-rank solver timeline. ID generation is splitmix64 over a seeded
+// counter — the repo-wide convention (rhsFor, ring hashing) — so tests get
+// reproducible IDs without wall clocks or crypto/rand.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TraceID is the 16-byte W3C trace-id. The all-zero value is invalid.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C parent-id/span-id. The all-zero value is invalid.
+type SpanID [8]byte
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+func (s SpanID) IsZero() bool  { return s == SpanID{} }
+
+// TraceContext identifies one position in a distributed trace: the trace the
+// request belongs to and the span that is currently in scope.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both IDs are non-zero, per the W3C invariants.
+func (tc TraceContext) Valid() bool { return !tc.TraceID.IsZero() && !tc.SpanID.IsZero() }
+
+// Traceparent renders the context as a version-00 W3C traceparent header
+// value with the sampled flag set: 00-<trace-id>-<span-id>-01.
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", tc.TraceID, tc.SpanID)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Unknown versions
+// are accepted as long as the field layout matches (per spec, a receiver may
+// parse a higher version it does not understand as version 00); trace flags
+// are ignored. Returns an invalid context and false on malformed input.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || parts[0] == "ff" {
+		return TraceContext{}, false
+	}
+	if len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return TraceContext{}, false
+	}
+	var tc TraceContext
+	if _, err := hex.Decode(tc.TraceID[:], []byte(strings.ToLower(parts[1]))); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(strings.ToLower(parts[2]))); err != nil {
+		return TraceContext{}, false
+	}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// IDGen deterministically generates trace and span IDs from a splitmix64
+// stream. Safe for concurrent use. Two generators with the same seed emit
+// identical sequences, which is what keeps trace tests wall-clock-free.
+type IDGen struct {
+	mu sync.Mutex
+	s  uint64
+}
+
+// NewIDGen seeds a generator. Distinct participants (bench, router, each
+// daemon) should use distinct seeds or their span IDs will collide.
+func NewIDGen(seed uint64) *IDGen { return &IDGen{s: seed} }
+
+func (g *IDGen) next() uint64 {
+	g.mu.Lock()
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	g.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *IDGen) nonzero() uint64 {
+	for {
+		if v := g.next(); v != 0 {
+			return v
+		}
+	}
+}
+
+// NewTrace mints a fresh root context: new trace ID, new span ID.
+func (g *IDGen) NewTrace() TraceContext {
+	var tc TraceContext
+	putU64(tc.TraceID[0:8], g.nonzero())
+	putU64(tc.TraceID[8:16], g.nonzero())
+	putU64(tc.SpanID[:], g.nonzero())
+	return tc
+}
+
+// Child mints a context in the same trace with a fresh span ID. If the
+// parent is invalid it falls back to a fresh root trace.
+func (g *IDGen) Child(parent TraceContext) TraceContext {
+	if !parent.Valid() {
+		return g.NewTrace()
+	}
+	tc := TraceContext{TraceID: parent.TraceID}
+	putU64(tc.SpanID[:], g.nonzero())
+	return tc
+}
+
+// NewSpanID mints a bare span ID (for spans recorded after the fact, e.g.
+// queue-wait reconstructed at job finish).
+func (g *IDGen) NewSpanID() SpanID {
+	var s SpanID
+	putU64(s[:], g.nonzero())
+	return s
+}
+
+func putU64(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// TraceSpan is one completed span as stored in flight-recorder dumps and
+// stitched timelines. Times are wall-clock Unix nanoseconds so spans from
+// different processes land on one shared axis; IDs are hex strings so dumps
+// are directly greppable.
+type TraceSpan struct {
+	TraceID     string            `json:"trace_id"`
+	SpanID      string            `json:"span_id"`
+	ParentID    string            `json:"parent_id,omitempty"`
+	Name        string            `json:"name"`
+	Service     string            `json:"service,omitempty"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	EndUnixNS   int64             `json:"end_unix_ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}

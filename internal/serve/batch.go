@@ -68,6 +68,7 @@ func (m *Manager) runBatch(batch []*Job) {
 	for _, j := range jobs {
 		j.mu.Lock()
 		j.state = JobRunning
+		j.runStart = time.Now()
 		j.batchWidth = width
 		j.mu.Unlock()
 		j.emit(Event{Type: "start", Job: j.ID, State: JobRunning,
@@ -108,7 +109,15 @@ func (m *Manager) runBatch(batch []*Job) {
 	}
 
 	eng := engine.NewSeq(pr.Operator(), pc)
+	// One shared tracer for the gang, anchored once: every member job's
+	// solve span starts here on the wall axis.
+	anchor := time.Now()
 	eng.Tr = obs.New(0, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
+	for _, j := range jobs {
+		j.mu.Lock()
+		j.solveStart, j.anchorNS = anchor, anchor.UnixNano()
+		j.mu.Unlock()
+	}
 
 	cols := make([]blockcg.Column, width)
 	for i, j := range jobs {
@@ -160,6 +169,7 @@ func (m *Manager) runBatch(batch []*Job) {
 		j.mu.Lock()
 		j.counters = out[i].Counters
 		j.obsSum = sum
+		j.rankSums = []obs.Summary{sum}
 		j.mu.Unlock()
 		m.met.AddCounters(&out[i].Counters)
 		m.classify(j, jctx[i], res, out[i].Err)

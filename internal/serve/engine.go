@@ -175,6 +175,7 @@ func (m *Manager) run(j *Job) {
 
 	j.mu.Lock()
 	j.state = JobRunning
+	j.runStart = time.Now()
 	j.batchWidth = 1
 	j.mu.Unlock()
 	m.met.noteBatch(1)
@@ -266,7 +267,14 @@ func (m *Manager) runSeq(j *Job, ctx context.Context, entry *Entry, pr bench.Pro
 	}
 
 	eng := engine.NewSeq(pr.Operator(), pc)
+	// The tracer's clock zero is its construction instant; the anchor pins
+	// that instant on the wall axis so the stitcher can place rank-relative
+	// phase events in the cross-process trace.
+	anchor := time.Now()
 	eng.Tr = obs.New(0, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
+	j.mu.Lock()
+	j.solveStart, j.anchorNS = anchor, anchor.UnixNano()
+	j.mu.Unlock()
 	*progressEng = eng
 	wrapped := &cancelEngine{Engine: eng, ctx: ctx}
 
@@ -293,6 +301,7 @@ func (m *Manager) runSeq(j *Job, ctx context.Context, entry *Entry, pr bench.Pro
 	j.mu.Lock()
 	j.counters = *eng.Counters()
 	j.obsSum = sum
+	j.rankSums = []obs.Summary{sum}
 	j.mu.Unlock()
 	m.met.AddCounters(eng.Counters())
 	m.met.AddObs(sum)
@@ -327,12 +336,22 @@ func (m *Manager) runComm(j *Job, ctx context.Context, entry *Entry, pr bench.Pr
 	ranks := j.Req.Ranks
 	pt := entry.Partition(ranks)
 	f := comm.NewFabric(ranks, 0).WithRecvTimeout(2*time.Second, 3)
+	if m.cfg.testFabricFault != nil {
+		// Test hook: inject fabric faults (e.g. the PR 2 straggler jitter)
+		// into service solves so the skew detector can be validated end to
+		// end against a known-degraded rank.
+		f = f.WithFault(m.cfg.testFabricFault)
+	}
 	engines := comm.NewEnginesOp(f, pr.A, pr.Operator(), pt, factory)
+	anchor := time.Now()
 	tracers := make([]*obs.Tracer, ranks)
 	for r, e := range engines {
 		tracers[r] = obs.New(r, obs.WithCapacity(jobEventCapacity, jobLedgerCapacity))
 		e.SetTracer(tracers[r])
 	}
+	j.mu.Lock()
+	j.solveStart, j.anchorNS = anchor, anchor.UnixNano()
+	j.mu.Unlock()
 	bs := comm.Scatter(pt, rhsFor(pr, j.Req.RHSSeed))
 	opt.WaitDeadline = 10 * time.Second
 	*progressEng = engines[0]
@@ -361,10 +380,32 @@ func (m *Manager) runComm(j *Job, ctx context.Context, entry *Entry, pr bench.Pr
 		sums[r] = tr.Summary()
 	}
 	sum := obs.MergeSummaries(sums)
+	// Per-rank skew analysis: purely observational (it reads finished
+	// summaries), exported as solverd_rank_skew and, past the threshold,
+	// flagged in the flight recorder.
+	transit := f.TransitStats()
+	transitNS := make([]int64, len(transit))
+	for r, tr := range transit {
+		transitNS[r] = tr.MeanNS()
+	}
+	skew := obs.AnalyzeSkewTransit(sums, transitNS)
 	j.mu.Lock()
 	j.counters = *agg
 	j.obsSum = sum
+	j.rankSums = sums
+	j.skew = &skew
 	j.mu.Unlock()
+	m.met.noteSkew(skew)
+	if skew.StragglerRank >= 0 && skew.MaxScore >= m.cfg.SkewThreshold {
+		m.flight.RecordEvent(obs.FlightEvent{
+			UnixNS: time.Now().UnixNano(), Kind: "rank_skew", TraceID: j.TraceID(),
+			Attrs: map[string]string{
+				"job":            j.ID,
+				"straggler_rank": fmt.Sprintf("%d", skew.StragglerRank),
+				"score":          fmt.Sprintf("%.3f", skew.MaxScore),
+			},
+		})
+	}
 	// Service-level aggregate folds every rank's counters and spans.
 	for _, e := range engines {
 		m.met.AddCounters(e.Counters())
@@ -477,6 +518,8 @@ func (m *Manager) finishJob(j *Job, state JobState, res *krylov.Result, err erro
 		ev.BatchWidth = j.batchWidth
 	}
 	dec, drift := j.tune, j.driftRatio
+	runStart, coalesceAt, coalesceNS := j.runStart, j.coalesceAt, j.coalesceNS
+	anchorNS, rankSums, skew := j.anchorNS, j.rankSums, j.skew
 	j.mu.Unlock()
 	if overlap.Posted > 0 {
 		ev.OverlapEfficiency = overlap.HiddenFraction()
@@ -504,7 +547,8 @@ func (m *Manager) finishJob(j *Job, state JobState, res *krylov.Result, err erro
 		lvl = slog.LevelWarn
 	}
 	attrs := []any{
-		"job", j.ID, "method", j.Req.Method, "ranks", j.Req.Ranks,
+		"job", j.ID, "trace_id", j.TraceID(),
+		"method", j.Req.Method, "ranks", j.Req.Ranks,
 		"outcome", string(state),
 		"duration", time.Since(j.submitted).Round(time.Microsecond),
 	}
@@ -518,6 +562,52 @@ func (m *Manager) finishJob(j *Job, state JobState, res *krylov.Result, err erro
 		attrs = append(attrs, "error", err.Error())
 	}
 	m.cfg.Log.Log(context.Background(), lvl, "job finished", attrs...)
+
+	// Reconstruct the job's span tree and fold it into the flight recorder
+	// before Done closes, so a client that observed completion can already
+	// read the record from /v1/debug/flight.
+	traceID := j.TraceID()
+	now := time.Now()
+	jobSpanID := j.tctx.SpanID.String()
+	spans := []obs.TraceSpan{{
+		TraceID: traceID, SpanID: jobSpanID, ParentID: j.parentSpan,
+		Name: "job", Service: "solverd",
+		StartUnixNS: j.submitted.UnixNano(), EndUnixNS: now.UnixNano(),
+		Attrs: map[string]string{"job": j.ID, "method": j.Req.Method, "outcome": string(state)},
+	}}
+	if !runStart.IsZero() {
+		spans = append(spans, obs.TraceSpan{
+			TraceID: traceID, SpanID: m.ids.NewSpanID().String(), ParentID: jobSpanID,
+			Name: "queue_wait", Service: "solverd",
+			StartUnixNS: j.submitted.UnixNano(), EndUnixNS: runStart.UnixNano(),
+		})
+	}
+	if !coalesceAt.IsZero() {
+		spans = append(spans, obs.TraceSpan{
+			TraceID: traceID, SpanID: m.ids.NewSpanID().String(), ParentID: jobSpanID,
+			Name: "coalesce_wait", Service: "solverd",
+			StartUnixNS: coalesceAt.UnixNano(), EndUnixNS: coalesceAt.UnixNano() + coalesceNS,
+		})
+	}
+	solveSpanID := ""
+	if anchorNS != 0 {
+		solveSpanID = m.ids.NewSpanID().String()
+		sa := map[string]string{"ranks": fmt.Sprintf("%d", j.Req.Ranks)}
+		if skew != nil && skew.StragglerRank >= 0 {
+			sa["skew_max"] = fmt.Sprintf("%.3f", skew.MaxScore)
+			sa["skew_rank"] = fmt.Sprintf("%d", skew.StragglerRank)
+		}
+		spans = append(spans, obs.TraceSpan{
+			TraceID: traceID, SpanID: solveSpanID, ParentID: jobSpanID,
+			Name: "solve", Service: "solverd",
+			StartUnixNS: anchorNS, EndUnixNS: now.UnixNano(), Attrs: sa,
+		})
+	}
+	m.flight.RecordJob(obs.JobRecord{
+		Job: j.ID, TraceID: traceID, Outcome: string(state),
+		Spans: spans, SolveSpanID: solveSpanID,
+		AnchorUnixNS: anchorNS, Ranks: rankSums,
+	})
 
 	j.finish(state, ev)
 	// Completion is a retention event: without this, a backlog finishing

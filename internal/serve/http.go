@@ -33,6 +33,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("PUT /v1/matrices/{name}", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /v1/tuner", s.handleTuner)
+	s.mux.HandleFunc("GET /v1/debug/flight", s.handleFlight)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -72,6 +73,12 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	if req.Problem == "" {
 		apiError(w, http.StatusBadRequest, "missing \"problem\"")
 		return nil, false
+	}
+	// A traceparent request header is the W3C spelling of the body field;
+	// the body wins when both are present (the router pins the per-attempt
+	// context there).
+	if req.TraceParent == "" {
+		req.TraceParent = r.Header.Get("traceparent")
 	}
 	j, err := s.Jobs.Submit(req)
 	switch {
@@ -142,10 +149,13 @@ type JobStatus struct {
 	// included) when the manager ran it as a block solve; omitted for solo
 	// solves and jobs still queued.
 	BatchWidth int `json:"batch_width,omitempty"`
+	// TraceID is the distributed trace the job belongs to (joined from the
+	// client's traceparent, or originated by this daemon).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Server) jobStatus(j *Job, includeCounters bool) JobStatus {
-	st := JobStatus{ID: j.ID, State: j.State(), Request: j.Req}
+	st := JobStatus{ID: j.ID, State: j.State(), Request: j.Req, TraceID: j.TraceID()}
 	if w := j.BatchWidth(); w > 1 {
 		st.BatchWidth = w
 	}
@@ -296,6 +306,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 // produced it. Empty until an auto job has finished.
 func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Jobs.Tuner().Snapshot())
+}
+
+// handleFlight dumps the flight recorder: recent completed job traces
+// (spans + per-rank summaries) and structured events, oldest first.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs.Flight().Dump())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -51,6 +51,14 @@ type SolveRequest struct {
 	// or solo — so clients can issue many distinct solves against one
 	// operator and still compare iterates bitwise across paths.
 	RHSSeed uint64 `json:"rhs_seed,omitempty"`
+	// TraceParent carries the W3C traceparent of the submitting span, making
+	// this job a child span of the client's trace. The router rewrites it per
+	// delivery attempt so each attempt is its own child span; a traceparent
+	// request header is an equivalent spelling (the body field wins when both
+	// are present). Absent or malformed, the daemon originates a fresh trace.
+	// Purely observational — never part of coalesce or idempotency keys, and
+	// bit-neutral to the solve.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 func (r SolveRequest) withDefaults() SolveRequest {
@@ -88,6 +96,10 @@ const (
 type Event struct {
 	Type string `json:"type"` // queued | start | progress | result
 	Job  string `json:"job"`
+	// TraceID is the distributed trace this job belongs to; emit stamps it
+	// on every event so a relayed NDJSON stream stays attributable across
+	// router failover.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// progress fields
 	Iteration int `json:"iteration,omitempty"`
@@ -160,10 +172,30 @@ type Job struct {
 	tune       *tuneDecision // set when the tuner resolved an auto job
 	driftRatio float64       // max true/recurrence ratio from the drift probe
 
+	// Distributed-trace state. tctx is assigned once in Submit before the
+	// job is enqueued and immutable after, so it is readable without mu.
+	tctx       obs.TraceContext // this job's span in its trace
+	parentSpan string           // incoming parent span id (hex), "" for daemon-originated traces
+	runStart   time.Time        // worker picked the job up (queue-wait span end)
+	solveStart time.Time        // engine solve began (solve span start)
+	coalesceAt time.Time        // head job's coalesce-window wait start (zero if none)
+	coalesceNS int64            // head job's coalesce-window wait duration
+	anchorNS   int64            // wall Unix ns the solve tracers' clock 0 maps to
+	rankSums   []obs.Summary    // per-rank summaries (flight recorder + skew)
+	skew       *obs.SkewReport  // multi-rank skew analysis, nil for solo solves
+
 	ctx       context.Context
 	cancel    context.CancelFunc
 	submitted time.Time
 	done      chan struct{}
+}
+
+// TraceID returns the hex trace ID of the job's distributed trace.
+func (j *Job) TraceID() string {
+	if !j.tctx.Valid() {
+		return ""
+	}
+	return j.tctx.TraceID.String()
 }
 
 // State returns the job's current lifecycle phase.
@@ -233,6 +265,7 @@ func (j *Job) effectiveMethod() string {
 // terminal result (Subscribe replays the ring, and the result is always
 // retained as the final ring entry).
 func (j *Job) emit(ev Event) {
+	ev.TraceID = j.TraceID()
 	j.mu.Lock()
 	if len(j.events) >= maxRetainedEvents {
 		copy(j.events, j.events[1:])
@@ -283,6 +316,7 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 // finish moves the job to its terminal state, emits the result event and
 // closes every subscriber.
 func (j *Job) finish(state JobState, ev Event) {
+	ev.TraceID = j.TraceID()
 	j.mu.Lock()
 	j.state = state
 	if len(j.events) >= maxRetainedEvents {
@@ -320,10 +354,12 @@ var (
 // popped (same operator, method, PC, s and tolerance) and run them as one
 // block solve. Lock order where locks nest: drainMu > mu > qmu.
 type Manager struct {
-	cfg   Config
-	reg   *Registry
-	met   *Metrics
-	tuner *Tuner
+	cfg    Config
+	reg    *Registry
+	met    *Metrics
+	tuner  *Tuner
+	ids    *obs.IDGen          // trace/span ID generator (seeded; deterministic in tests)
+	flight *obs.FlightRecorder // ring of recent completed job traces + events
 
 	qmu      sync.Mutex
 	qcond    *sync.Cond
@@ -346,11 +382,17 @@ type Manager struct {
 
 // NewManager starts the worker pool.
 func NewManager(cfg Config, reg *Registry, met *Metrics) *Manager {
+	seed := cfg.TraceSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
 	m := &Manager{
 		cfg:     cfg,
 		reg:     reg,
 		met:     met,
 		tuner:   NewTuner(met),
+		ids:     obs.NewIDGen(seed),
+		flight:  obs.NewFlightRecorder("solverd", cfg.ShardID, cfg.FlightJobs, cfg.FlightEvents),
 		jobs:    map[string]*Job{},
 		byKey:   map[string]string{},
 		running: make(chan struct{}, cfg.Workers),
@@ -378,6 +420,9 @@ func (m *Manager) Workers() int { return m.cfg.Workers }
 
 // Tuner returns the stability auto-selector backing method "auto".
 func (m *Manager) Tuner() *Tuner { return m.tuner }
+
+// Flight returns the manager's flight recorder (never nil).
+func (m *Manager) Flight() *obs.FlightRecorder { return m.flight }
 
 // Draining reports whether admissions are closed.
 func (m *Manager) Draining() bool {
@@ -443,6 +488,15 @@ func (m *Manager) Submit(req SolveRequest) (*Job, error) {
 		cancel:    cancel,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+	// Join the client's trace (the job becomes a child span) or originate a
+	// fresh one. Assigned before the job is enqueued: a fast worker may
+	// start solving before Submit returns.
+	if parent, ok := obs.ParseTraceparent(req.TraceParent); ok {
+		j.tctx = m.ids.Child(parent)
+		j.parentSpan = parent.SpanID.String()
+	} else {
+		j.tctx = m.ids.NewTrace()
 	}
 	m.nextID++
 	if m.cfg.ShardID != "" {
@@ -589,8 +643,15 @@ func (m *Manager) takeBatch() []*Job {
 		if len(batch) < m.cfg.CoalesceWidth && m.cfg.CoalesceWindow > 0 {
 			// Half-open window: wait once for stragglers, then go with what
 			// arrived. Bounded, so a lone job's latency cost is one window.
+			// The head job paid the wait; stamp it so its trace grows a
+			// coalesce_wait span.
 			m.qmu.Unlock()
+			waitStart := time.Now()
 			time.Sleep(m.cfg.CoalesceWindow)
+			head.mu.Lock()
+			head.coalesceAt = waitStart
+			head.coalesceNS = time.Since(waitStart).Nanoseconds()
+			head.mu.Unlock()
 			m.qmu.Lock()
 			batch = m.stealLocked(batch, key)
 		}

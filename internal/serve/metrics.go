@@ -89,6 +89,10 @@ type Metrics struct {
 	obsMu   sync.Mutex
 	phases  [obs.NumPhases]obs.PhaseStat // per-phase duration aggregate
 	overlap obs.OverlapStats             // overlap-ledger aggregate
+
+	skewMu     sync.Mutex
+	skewLast   obs.SkewReport // most recent multi-rank solve's analysis
+	skewSolves int64          // multi-rank solves analyzed
 }
 
 // NewMetrics builds an empty ledger.
@@ -125,6 +129,19 @@ func (m *Metrics) noteBatch(width int) {
 	} else {
 		m.jobsSolo.Add(1)
 	}
+}
+
+// noteSkew records a multi-rank solve's per-rank skew analysis; the gauges
+// track the most recent analyzed solve. Reports without a straggler (solo
+// solves) are ignored.
+func (m *Metrics) noteSkew(rep obs.SkewReport) {
+	if rep.StragglerRank < 0 {
+		return
+	}
+	m.skewMu.Lock()
+	m.skewLast = rep
+	m.skewSolves++
+	m.skewMu.Unlock()
 }
 
 // countJob tallies a finished job's outcome.
@@ -231,6 +248,31 @@ func (m *Metrics) WritePrometheus(w io.Writer, mgr *Manager, reg *Registry) {
 	fmt.Fprintf(w, "# HELP solverd_overlap_efficiency Measured hidden fraction: 1 - wait/interval over all posted reductions.\n")
 	fmt.Fprintf(w, "# TYPE solverd_overlap_efficiency gauge\n")
 	fmt.Fprintf(w, "solverd_overlap_efficiency %g\n", overlap.HiddenFraction())
+
+	m.skewMu.Lock()
+	skew := m.skewLast
+	skewSolves := m.skewSolves
+	m.skewMu.Unlock()
+	if skewSolves == 0 {
+		// The zero-value report says rank 0; honor the "-1 = none analyzed"
+		// contract until noteSkew has stored a real one.
+		skew.StragglerRank = -1
+	}
+	fmt.Fprintf(w, "# HELP solverd_rank_skew Per-rank straggler score of the most recent analyzed multi-rank solve (compute excess + wait deficit + transit excess).\n")
+	fmt.Fprintf(w, "# TYPE solverd_rank_skew gauge\n")
+	for _, r := range skew.Ranks {
+		fmt.Fprintf(w, "solverd_rank_skew{rank=\"%d\"} %g\n", r.Rank, r.Score)
+	}
+	fmt.Fprintf(w, "# HELP solverd_rank_skew_straggler Rank with the highest straggler score in the most recent analyzed solve (-1 = none analyzed).\n")
+	fmt.Fprintf(w, "# TYPE solverd_rank_skew_straggler gauge\n")
+	fmt.Fprintf(w, "solverd_rank_skew_straggler %d\n", skew.StragglerRank)
+	fmt.Fprintf(w, "# HELP solverd_rank_skew_imbalance Compute load-balance ratio max/mean of the most recent analyzed solve.\n")
+	fmt.Fprintf(w, "# TYPE solverd_rank_skew_imbalance gauge\n")
+	fmt.Fprintf(w, "solverd_rank_skew_imbalance %g\n", skew.Imbalance)
+	fmt.Fprintf(w, "# TYPE solverd_rank_skew_solves_total counter\n")
+	fmt.Fprintf(w, "solverd_rank_skew_solves_total %d\n", skewSolves)
+
+	obs.WriteGoRuntimeMetrics(w, "solverd")
 
 	fmt.Fprintf(w, "# HELP solverd_kernel_* Kernel-counter aggregate over finished jobs (trace.Counters).\n")
 	m.mu.Lock()

@@ -32,13 +32,18 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -97,11 +102,38 @@ type Config struct {
 	// and repeat jobs warm-start from the recorded fingerprint. An explicit
 	// method in the request always wins. cmd/solverd's -auto-tune flag.
 	AutoTuneDefault bool
+	// TraceSeed seeds the daemon's splitmix64 trace/span ID generator. Zero
+	// (the default) seeds from the wall clock; tests set it for reproducible
+	// IDs. IDs only — solver numerics never touch this stream.
+	TraceSeed uint64
+	// FlightJobs / FlightEvents bound the flight recorder's rings of recent
+	// completed job traces and structured events. Defaults 256 / 1024.
+	FlightJobs   int
+	FlightEvents int
+	// FlightDumpPath, when set, writes the flight recorder's JSON dump to
+	// this file at the end of Drain (and Kill) — the automatic postmortem
+	// artifact. cmd/solverd's -flight-dump flag.
+	FlightDumpPath string
+	// SkewThreshold is the straggler score at or above which a multi-rank
+	// solve records a rank_skew flight event. Default 0.25; the metric
+	// gauges are exported regardless.
+	SkewThreshold float64
+	// MutexProfileFraction / BlockProfileRate, when > 0, are applied to the
+	// Go runtime's mutex and block profilers at construction so the pprof
+	// plane (EnablePprof) has contention data to serve. Off by default —
+	// both profilers carry a runtime cost. cmd/solverd's -pprof-mutex and
+	// -pprof-block flags.
+	MutexProfileFraction int
+	BlockProfileRate     int
 
 	// testHookBeforeRun, when set by in-package tests, runs in the worker
 	// just before a job executes — a deterministic way to hold the pool busy
 	// for admission-control and timeout tests.
 	testHookBeforeRun func(*Job)
+	// testFabricFault, when set by in-package tests, is installed on every
+	// multi-rank solve's fabric — how the skew detector is validated against
+	// the straggler-jitter injector without a public fault API.
+	testFabricFault *comm.FaultConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +158,9 @@ func (c Config) withDefaults() Config {
 	if c.Log == nil {
 		c.Log = slog.Default()
 	}
+	if c.SkewThreshold <= 0 {
+		c.SkewThreshold = 0.25
+	}
 	return c
 }
 
@@ -144,6 +179,12 @@ type Server struct {
 // New builds a stopped server; call Serve (or mount Handler) to run it.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.MutexProfileFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexProfileFraction)
+	}
+	if cfg.BlockProfileRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockProfileRate)
+	}
 	met := NewMetrics()
 	reg := NewRegistry(cfg.CacheEntries, met)
 	s := &Server{
@@ -196,6 +237,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		err = hs.Shutdown(hctx)
 	}
 	s.flushFinalMetrics()
+	s.dumpFlight("drain")
 	return err
 }
 
@@ -215,6 +257,31 @@ func (s *Server) Kill() {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s.Jobs.Drain(ctx)
+	s.dumpFlight("kill")
+}
+
+// dumpFlight records the shutdown in the flight recorder and, when
+// configured, writes the recorder's dump to disk — the postmortem artifact
+// that survives the process. Best effort: a write failure is logged, never
+// fatal (the process is already going down).
+func (s *Server) dumpFlight(reason string) {
+	fl := s.Jobs.Flight()
+	fl.RecordEvent(obs.FlightEvent{
+		UnixNS: time.Now().UnixNano(), Kind: "shutdown",
+		Attrs: map[string]string{"reason": reason},
+	})
+	if s.cfg.FlightDumpPath == "" {
+		return
+	}
+	data, err := json.Marshal(fl.Dump())
+	if err == nil {
+		err = os.WriteFile(s.cfg.FlightDumpPath, data, 0o644)
+	}
+	if err != nil {
+		s.cfg.Log.Error("serve: flight dump failed", "path", s.cfg.FlightDumpPath, "error", err)
+		return
+	}
+	s.cfg.Log.Info("serve: flight dump written", "path", s.cfg.FlightDumpPath, "reason", reason)
 }
 
 // flushFinalMetrics logs the end-of-life counter snapshot — the drain

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sparse"
+)
+
+// record drives a small fixed kernel sequence through the engine so the
+// replay has compute and reduction events to cost.
+func record(e *Engine) {
+	n := e.A.Rows
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	for it := 0; it < 4; it++ {
+		e.SpMV(y, x)
+		e.AllreduceSum([]float64{1})
+	}
+}
+
+// TestPredictSkewBalanced pins the forecast's null case: a balanced-nnz
+// partition of a uniform stencil predicts (near) zero straggler score on
+// every rank.
+func TestPredictSkewBalanced(t *testing.T) {
+	a := grid.NewSquare(16, grid.Star5).Laplacian()
+	e := NewEngine(a, nil)
+	record(e)
+	rep := e.PredictSkew(CrayXC40(), 4)
+	if len(rep.Ranks) != 4 {
+		t.Fatalf("report covers %d ranks, want 4", len(rep.Ranks))
+	}
+	if rep.MaxScore > 0.15 {
+		t.Fatalf("balanced partition predicts straggler score %.3f on rank %d, want ~0",
+			rep.MaxScore, rep.StragglerRank)
+	}
+	// Determinism: the forecast is a pure function of the recorded run.
+	rep2 := e.PredictSkew(CrayXC40(), 4)
+	if rep2.StragglerRank != rep.StragglerRank || rep2.MaxScore != rep.MaxScore {
+		t.Fatalf("forecast not deterministic: %+v vs %+v", rep, rep2)
+	}
+}
+
+// TestPredictSkewDenseRow pins the detection case: one row holding a huge
+// nonzero share cannot be split by the row-block partitioner, so its owner
+// must dominate the forecast with compute excess + wait deficit — the same
+// signature the live detector keys on.
+func TestPredictSkewDenseRow(t *testing.T) {
+	const n, p = 64, 4
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+	}
+	// Row 40 (owned by the third block) is dense.
+	for j := 0; j < n; j++ {
+		if j != 40 {
+			b.Add(40, j, -0.01)
+			b.Add(j, 40, -0.01)
+		}
+	}
+	a := b.Build()
+	e := NewEngine(a, nil)
+	record(e)
+	rep := e.PredictSkew(CrayXC40(), p)
+	if rep.StragglerRank < 0 {
+		t.Fatal("no straggler predicted for a dense-row system")
+	}
+	// The predicted straggler must be the rank whose block holds the dense
+	// row — equivalently, the rank with the largest modeled compute share.
+	owner := 0
+	var maxCompute int64
+	for _, rs := range rep.Ranks {
+		if rs.ComputeNS > maxCompute {
+			maxCompute = rs.ComputeNS
+			owner = rs.Rank
+		}
+	}
+	if rep.StragglerRank != owner {
+		t.Fatalf("straggler rank %d is not the heaviest-compute rank %d: %+v",
+			rep.StragglerRank, owner, rep.Ranks)
+	}
+	if rep.MaxScore < 0.3 {
+		t.Fatalf("dense-row owner scores only %.3f, want a dominant straggler", rep.MaxScore)
+	}
+	if rep.Imbalance <= 1.05 {
+		t.Fatalf("imbalance %.3f, want > 1.05 for a dense-row system", rep.Imbalance)
+	}
+	// Every other rank trails, and the straggler shows the live detector's
+	// signature: compute excess plus wait deficit.
+	for _, rs := range rep.Ranks {
+		if rs.Rank == rep.StragglerRank {
+			if rs.ComputeExcess <= 0 || rs.WaitDeficit <= 0 {
+				t.Fatalf("straggler missing the excess/deficit signature: %+v", rs)
+			}
+			continue
+		}
+		if rs.Score >= rep.MaxScore {
+			t.Fatalf("rank %d score %.3f does not trail the straggler's %.3f",
+				rs.Rank, rs.Score, rep.MaxScore)
+		}
+	}
+}
